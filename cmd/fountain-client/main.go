@@ -1,0 +1,93 @@
+// Command fountain-client downloads a file from a fountain server over
+// UDP: it fetches the session descriptor from the control socket,
+// subscribes to the data layers, adapts its subscription level at
+// synchronization points, and writes the reconstructed file once the
+// decoder reports completion.
+//
+// Usage:
+//
+//	fountain-client -control 127.0.0.1:9001 -data 127.0.0.1:9000 -out copy.bin -level 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/proto"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		ctrlAddr = flag.String("control", "127.0.0.1:9001", "server control address")
+		dataAddr = flag.String("data", "127.0.0.1:9000", "server data address")
+		out      = flag.String("out", "download.bin", "output file")
+		level    = flag.Int("level", 0, "initial subscription level")
+		timeout  = flag.Duration("timeout", 10*time.Minute, "give up after this long")
+	)
+	flag.Parse()
+
+	ctrl, err := net.ResolveUDPAddr("udp", *ctrlAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	reply, err := transport.RequestSessionInfo(ctrl, proto.MarshalHello(), 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info, err := proto.ParseSessionInfo(reply)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("fountain-client: session %#x codec=%d k=%d n=%d layers=%d file=%d bytes\n",
+		info.Session, info.Codec, info.K, info.N, info.Layers, info.FileLen)
+
+	data, err := net.ResolveUDPAddr("udp", *dataAddr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *level >= int(info.Layers) {
+		*level = int(info.Layers) - 1
+	}
+	udp, err := transport.NewUDPClient(data, *level)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer udp.Close()
+	eng, err := client.New(info, *level, func(l int) {
+		if err := udp.SetLevel(l); err != nil {
+			log.Printf("subscription change failed: %v", err)
+		}
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	deadline := time.Now().Add(*timeout)
+	for !eng.Done() {
+		if time.Now().After(deadline) {
+			log.Fatal("fountain-client: timed out")
+		}
+		pkt, ok := udp.Recv(2 * time.Second)
+		if !ok {
+			continue
+		}
+		if _, err := eng.HandlePacket(pkt); err != nil {
+			continue // stray datagram
+		}
+	}
+	file, err := eng.File()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, file, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	eta, etaC, etaD := eng.Efficiency()
+	fmt.Printf("fountain-client: wrote %s (%d bytes); loss=%.1f%% eta=%.3f eta_c=%.3f eta_d=%.3f level=%d\n",
+		*out, len(file), 100*eng.MeasuredLoss(), eta, etaC, etaD, eng.Level())
+}

@@ -1,0 +1,86 @@
+// Command fountain-server serves a file as a digital fountain over UDP:
+// a control socket answers session-info requests (the paper's "UDP unicast
+// thread which provides control information"), and a data socket transmits
+// the layered carousel to subscribed clients.
+//
+// Usage:
+//
+//	fountain-server -file software.bin -data 127.0.0.1:9000 -control 127.0.0.1:9001 \
+//	                -layers 4 -rate 2048 -codec tornado-a
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+func main() {
+	var (
+		file     = flag.String("file", "", "file to distribute")
+		dataAddr = flag.String("data", "127.0.0.1:9000", "data socket address")
+		ctrlAddr = flag.String("control", "127.0.0.1:9001", "control socket address")
+		layers   = flag.Int("layers", 4, "multicast layers")
+		rate     = flag.Int("rate", 2048, "base-layer rate, packets/second")
+		codec    = flag.String("codec", "tornado-a", "tornado-a|tornado-b|cauchy|vandermonde|interleaved")
+		pktLen   = flag.Int("pkt", 500, "payload bytes per packet")
+		seed     = flag.Int64("seed", 1998, "graph seed")
+	)
+	flag.Parse()
+	if *file == "" {
+		log.Fatal("fountain-server: -file is required")
+	}
+	data, err := os.ReadFile(*file)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Layers = *layers
+	cfg.PacketLen = *pktLen
+	cfg.Seed = *seed
+	switch *codec {
+	case "tornado-a":
+		cfg.Codec = proto.CodecTornadoA
+	case "tornado-b":
+		cfg.Codec = proto.CodecTornadoB
+	case "cauchy":
+		cfg.Codec = proto.CodecCauchy
+	case "vandermonde":
+		cfg.Codec = proto.CodecVandermonde
+	case "interleaved":
+		cfg.Codec = proto.CodecInterleaved
+	default:
+		log.Fatalf("unknown codec %q", *codec)
+	}
+	sess, err := core.NewSession(data, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	info := sess.Info()
+	info.BaseRate = uint32(*rate)
+
+	udp, err := transport.NewUDPServer(*dataAddr, *layers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer udp.Close()
+	ctrl, stopCtrl, err := transport.ServeControl(*ctrlAddr, proto.IsHello, info.Marshal())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopCtrl()
+
+	fmt.Printf("fountain-server: %s (%d bytes, k=%d, n=%d) data=%s control=%s layers=%d\n",
+		*file, len(data), info.K, info.N, udp.Addr(), ctrl, *layers)
+	eng := server.New(sess, udp)
+	if err := eng.Run(context.Background(), *rate); err != nil && err != context.Canceled {
+		log.Fatal(err)
+	}
+}

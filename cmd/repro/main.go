@@ -1,0 +1,70 @@
+// Command repro regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	repro -exp table2            # one experiment (table1..table5, fig2, fig4..fig8)
+//	repro -exp all               # everything
+//	repro -exp all -full         # the paper's full parameter grid (slow)
+//	repro -exp fig4 -trials 5000 # override trial counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/repro"
+)
+
+func main() {
+	var (
+		exp    = flag.String("exp", "all", "experiment id: table1,table2,table3,table4,table5,fig2,fig4,fig5,fig6,fig8 or 'all'")
+		full   = flag.Bool("full", false, "run the paper's full parameter grid (slow)")
+		trials = flag.Int("trials", 0, "override per-point trial counts")
+		seed   = flag.Int64("seed", 1998, "experiment seed")
+	)
+	flag.Parse()
+	o := repro.Options{Full: *full, Seed: *seed, Trials: *trials}
+	type gen struct {
+		id  string
+		run func() error
+	}
+	w := os.Stdout
+	gens := []gen{
+		{"table1", func() error { return repro.Table1(w, o) }},
+		{"table2", func() error { return repro.Table2(w, o) }},
+		{"table3", func() error { return repro.Table3(w, o) }},
+		{"fig2", func() error { return repro.Fig2(w, o) }},
+		{"table4", func() error { return repro.Table4(w, o) }},
+		{"fig4", func() error { return repro.Fig4(w, o) }},
+		{"fig5", func() error { return repro.Fig5(w, o) }},
+		{"fig6", func() error { return repro.Fig6(w, o) }},
+		{"table5", func() error { return repro.Table5(w, o) }},
+		{"fig8", func() error { return repro.Fig8(w, o) }},
+	}
+	want := strings.Split(*exp, ",")
+	matched := false
+	for _, g := range gens {
+		sel := *exp == "all"
+		for _, id := range want {
+			if id == g.id {
+				sel = true
+			}
+		}
+		if !sel {
+			continue
+		}
+		matched = true
+		fmt.Printf("==== %s ====\n", g.id)
+		if err := g.run(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", g.id, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+	if !matched {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

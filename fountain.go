@@ -1,0 +1,161 @@
+// Package fountain is a Go implementation of the digital fountain approach
+// to reliable distribution of bulk data (Byers, Luby, Mitzenmacher, Rege —
+// SIGCOMM 1998).
+//
+// A digital fountain server encodes a file once with a fast erasure code
+// and cycles endlessly through the encoding; any number of receivers join
+// at any time, collect whichever packets the network delivers, and
+// reconstruct the file as soon as enough packets — any packets — have
+// arrived. No feedback channel, retransmission, or per-receiver state is
+// needed.
+//
+// The package exposes:
+//
+//   - Erasure codecs: Tornado codes (the paper's contribution: XOR-only
+//     sparse-graph codes with a few percent reception overhead and
+//     near-linear coding time), Reed-Solomon baselines (Vandermonde and
+//     Cauchy), and interleaved block codes.
+//   - Sessions: a file bound to a codec and a carousel/layered schedule.
+//   - Server and Client engines speaking the prototype's wire protocol
+//     (12-byte headers, SP/burst markers, layered congestion control)
+//     over in-process or UDP transports.
+//
+// See examples/ for runnable programs and DESIGN.md / EXPERIMENTS.md for
+// the paper-reproduction methodology and results.
+package fountain
+
+import (
+	"net"
+
+	"repro/internal/client"
+	"repro/internal/code"
+	"repro/internal/core"
+	"repro/internal/interleave"
+	"repro/internal/proto"
+	"repro/internal/rs"
+	"repro/internal/server"
+	"repro/internal/tornado"
+	"repro/internal/transport"
+)
+
+// Codec is a systematic erasure code over fixed-size packets: k source
+// packets are stretched to n encoding packets, and decoders report — packet
+// by packet — when the source is recoverable.
+type Codec = code.Codec
+
+// Decoder incrementally consumes encoding packets (in any order, with any
+// subset missing) until the source is recoverable.
+type Decoder = code.Decoder
+
+// ErrNotReady is returned by Decoder.Source before enough packets arrived.
+var ErrNotReady = code.ErrNotReady
+
+// Tornado code variants (§5 of the paper).
+var (
+	// TornadoA is the fast variant (average reception overhead ≈ 5%).
+	TornadoA = tornado.A
+	// TornadoB is the slower, lower-overhead variant (≈ 3%).
+	TornadoB = tornado.B
+)
+
+// NewTornado constructs a Tornado codec: an XOR-only erasure code over a
+// cascade of LP-designed sparse random bipartite graphs. The seed
+// determines the graphs; sender and receivers must agree on it.
+func NewTornado(p tornado.Params, k, n, packetLen int, seed int64) (Codec, error) {
+	return tornado.New(p, k, n, packetLen, seed)
+}
+
+// NewVandermonde constructs the Rizzo-style Reed-Solomon baseline over
+// GF(2^16): optimal reception (any k of n) but O(k·l) encode and O(k^3)
+// decode — the cost the paper's Tables 2-3 quantify.
+func NewVandermonde(k, n, packetLen int) (Codec, error) {
+	return rs.NewVandermonde(k, n, packetLen)
+}
+
+// NewCauchy constructs the Blömer-style Cauchy Reed-Solomon baseline
+// (XOR bit-matrix coding, closed-form O(x^2) decode-matrix inversion).
+func NewCauchy(k, n, packetLen int) (Codec, error) {
+	return rs.NewCauchy(k, n, packetLen)
+}
+
+// NewInterleaved constructs the interleaved block-code baseline of §6:
+// blocks of blockK source packets individually Reed-Solomon coded and
+// interleaved on the carousel.
+func NewInterleaved(totalK, blockK, stretch, packetLen int) (Codec, error) {
+	return interleave.NewForFile(totalK, blockK, stretch, packetLen)
+}
+
+// Session is an encoded file ready for fountain transmission.
+type Session = core.Session
+
+// Config selects a session's codec, packet size, stretch factor, layer
+// count and seed.
+type Config = core.Config
+
+// Receiver consumes fountain packets and reconstructs the file.
+type Receiver = core.Receiver
+
+// SessionInfo is the control-channel descriptor a server hands to clients.
+type SessionInfo = proto.SessionInfo
+
+// Codec identifiers for Config.Codec / SessionInfo.Codec.
+const (
+	CodecTornadoA    = proto.CodecTornadoA
+	CodecTornadoB    = proto.CodecTornadoB
+	CodecVandermonde = proto.CodecVandermonde
+	CodecCauchy      = proto.CodecCauchy
+	CodecInterleaved = proto.CodecInterleaved
+)
+
+// DefaultConfig mirrors the paper's prototype: Tornado A, 500-byte
+// payloads, stretch 2, 4 layers.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewSession encodes data for fountain distribution.
+func NewSession(data []byte, cfg Config) (*Session, error) { return core.NewSession(data, cfg) }
+
+// NewReceiver builds a receiver from a session descriptor.
+func NewReceiver(info SessionInfo) (*Receiver, error) { return core.NewReceiver(info) }
+
+// Server walks the carousel schedule and transmits rounds onto a
+// transport (step-by-step or paced in real time).
+type Server = server.Engine
+
+// NewServer binds a session to a transport sender.
+func NewServer(sess *Session, tx server.Sender) *Server { return server.New(sess, tx) }
+
+// Client is the receiving engine: decoding, efficiency accounting and
+// layered congestion control.
+type Client = client.Engine
+
+// NewClient builds a client engine; setLevel (may be nil) is called when
+// the congestion controller changes the subscription level.
+func NewClient(info SessionInfo, startLevel int, setLevel func(int)) (*Client, error) {
+	return client.New(info, startLevel, setLevel)
+}
+
+// Bus is the in-process lossy multicast transport (deterministic, virtual
+// time — used by the simulations and examples).
+type Bus = transport.Bus
+
+// NewBus creates an in-process transport with the given layer count.
+func NewBus(layers int) *Bus { return transport.NewBus(layers) }
+
+// UDPServer / UDPClient are the real-socket transport of the prototype.
+type (
+	// UDPServer owns the data socket and per-layer subscriber sets.
+	UDPServer = transport.UDPServer
+	// UDPClient subscribes to layers and receives packets.
+	UDPClient = transport.UDPClient
+)
+
+// NewUDPServer listens on addr and serves the given number of layers.
+func NewUDPServer(addr string, layers int) (*UDPServer, error) {
+	return transport.NewUDPServer(addr, layers)
+}
+
+// NewUDPClient dials a UDP server's data address and subscribes to layers
+// 0..level.
+func NewUDPClient(server *net.UDPAddr, level int) (*UDPClient, error) {
+	return transport.NewUDPClient(server, level)
+}

@@ -1,0 +1,139 @@
+package fountain
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// TestPublicAPIQuickstart exercises the documented public surface end to
+// end: codec construction, session, receiver, efficiency accounting.
+func TestPublicAPIQuickstart(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	file := make([]byte, 100<<10)
+	rng.Read(file)
+	cfg := DefaultConfig()
+	cfg.Layers = 1
+	sess, err := NewSession(file, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rcv, err := NewReceiver(sess.Info())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; !rcv.Done(); round++ {
+		for _, idx := range sess.CarouselIndices(0, round) {
+			if rng.Float64() < 0.3 {
+				continue
+			}
+			rcv.HandleRaw(sess.Packet(idx, 0, uint32(round), 0))
+		}
+	}
+	got, err := rcv.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, file) {
+		t.Fatal("file corrupted")
+	}
+}
+
+// TestPublicCodecs constructs each public codec and round-trips it.
+func TestPublicCodecs(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	k, pl := 32, 32
+	mks := map[string]func() (Codec, error){
+		"tornado-a":   func() (Codec, error) { return NewTornado(TornadoA(), k, 2*k, pl, 7) },
+		"tornado-b":   func() (Codec, error) { return NewTornado(TornadoB(), k, 2*k, pl, 7) },
+		"vandermonde": func() (Codec, error) { return NewVandermonde(k, 2*k, pl) },
+		"cauchy":      func() (Codec, error) { return NewCauchy(k, 2*k, pl) },
+		"interleaved": func() (Codec, error) { return NewInterleaved(k, 8, 2, pl) },
+	}
+	for name, mk := range mks {
+		c, err := mk()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		src := make([][]byte, c.K())
+		for i := range src {
+			src[i] = make([]byte, pl)
+			rng.Read(src[i])
+		}
+		enc, err := c.Encode(src)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		d := c.NewDecoder()
+		for _, i := range rng.Perm(c.N()) {
+			if done, _ := d.Add(i, enc[i]); done {
+				break
+			}
+		}
+		got, err := d.Source()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i := range src {
+			if !bytes.Equal(got[i], src[i]) {
+				t.Fatalf("%s: packet %d differs", name, i)
+			}
+		}
+	}
+}
+
+// TestUDPPrototypeEndToEnd runs the real-socket prototype on loopback.
+func TestUDPPrototypeEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	file := make([]byte, 64<<10)
+	rng.Read(file)
+	cfg := DefaultConfig()
+	cfg.Layers = 2
+	sess, err := NewSession(file, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	udp, err := NewUDPServer("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer udp.Close()
+	cli, err := NewUDPClient(udp.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	eng, err := NewClient(sess.Info(), 1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewServer(sess, udp)
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for !eng.Done() {
+			pkt, ok := cli.Recv(200000000) // 200ms
+			if !ok {
+				continue
+			}
+			eng.HandlePacket(pkt)
+		}
+	}()
+	deadline := 20000
+	for i := 0; i < deadline; i++ {
+		select {
+		case <-done:
+			i = deadline
+		default:
+			srv.Step()
+		}
+	}
+	<-done
+	got, err := eng.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, file) {
+		t.Fatal("UDP download corrupted")
+	}
+}

@@ -1,0 +1,103 @@
+// Package client implements the receiver engine of the prototype (§7.2,
+// §7.3): it consumes fountain packets from a transport, runs the layered
+// congestion controller on the SP/burst markers, adjusts its subscription
+// level, and feeds the decoder until the file is reconstructable, keeping
+// the reception-efficiency accounting (η, ηc, ηd) the paper reports in
+// Figure 8.
+package client
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/layered"
+	"repro/internal/proto"
+)
+
+// Leveler adjusts the transport subscription level (transport.BusClient
+// and transport.UDPClient satisfy it modulo error handling).
+type Leveler func(level int)
+
+// Engine is one receiving client.
+type Engine struct {
+	rcv      *core.Receiver
+	ctrl     *layered.Controller
+	setLevel Leveler
+	info     proto.SessionInfo
+
+	// Loss accounting across the whole download (per layer serial gaps).
+	lastSerial map[uint8]uint32
+	lost       int
+	received   int
+}
+
+// New builds a client engine from a session descriptor. setLevel is
+// invoked whenever the congestion controller changes the subscription
+// level (nil for single-layer sessions).
+func New(info proto.SessionInfo, startLevel int, setLevel Leveler) (*Engine, error) {
+	rcv, err := core.NewReceiver(info)
+	if err != nil {
+		return nil, err
+	}
+	ctrl := layered.New(int(info.Layers) - 1)
+	ctrl.SetLevel(startLevel)
+	return &Engine{
+		rcv:        rcv,
+		ctrl:       ctrl,
+		setLevel:   setLevel,
+		info:       info,
+		lastSerial: make(map[uint8]uint32),
+	}, nil
+}
+
+// Controller exposes the congestion controller (for tests/tuning).
+func (e *Engine) Controller() *layered.Controller { return e.ctrl }
+
+// HandlePacket ingests one wire packet. It returns done=true once the file
+// is decodable. Malformed or foreign packets return an error and are not
+// counted.
+func (e *Engine) HandlePacket(pkt []byte) (done bool, err error) {
+	h, payload, err := proto.ParseHeader(pkt)
+	if err != nil {
+		return e.rcv.Done(), err
+	}
+	if h.Session != e.info.Session {
+		return e.rcv.Done(), fmt.Errorf("client: foreign session %#x", h.Session)
+	}
+	// Whole-download loss measurement from serial gaps.
+	if last, ok := e.lastSerial[h.Group]; ok && h.Serial > last {
+		e.lost += int(h.Serial - last - 1)
+	}
+	e.lastSerial[h.Group] = h.Serial
+	e.received++
+	// Congestion control: only meaningful with multiple layers.
+	if e.info.Layers > 1 {
+		before := e.ctrl.Level()
+		after := e.ctrl.OnPacket(h.Group, h.Serial, h.Flags&proto.FlagSP != 0, h.Flags&proto.FlagBurst != 0)
+		if after != before && e.setLevel != nil {
+			e.setLevel(after)
+		}
+	}
+	return e.rcv.Handle(int(h.Index), payload)
+}
+
+// Done reports whether the file is decodable.
+func (e *Engine) Done() bool { return e.rcv.Done() }
+
+// File reassembles and verifies the download.
+func (e *Engine) File() ([]byte, error) { return e.rcv.File() }
+
+// Level returns the current subscription level.
+func (e *Engine) Level() int { return e.ctrl.Level() }
+
+// MeasuredLoss returns the packet loss rate observed over the download.
+func (e *Engine) MeasuredLoss() float64 {
+	total := e.received + e.lost
+	if total == 0 {
+		return 0
+	}
+	return float64(e.lost) / float64(total)
+}
+
+// Efficiency returns (η, ηc, ηd) as defined in §7.3.
+func (e *Engine) Efficiency() (eta, etaC, etaD float64) { return e.rcv.Efficiency() }

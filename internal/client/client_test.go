@@ -1,0 +1,164 @@
+package client
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+// TestEndToEndSingleLayer runs server -> lossy bus -> client at several
+// loss rates and verifies file integrity and efficiency accounting.
+func TestEndToEndSingleLayer(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	data := make([]byte, 100_000)
+	rng.Read(data)
+	for _, p := range []float64{0, 0.2, 0.5} {
+		cfg := core.DefaultConfig()
+		cfg.Layers = 1
+		sess, err := core.NewSession(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bus := transport.NewBus(1)
+		eng, err := New(sess.Info(), 0, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bc := bus.NewClient(0, &netsim.Bernoulli{P: p, Rng: rng}, func(layer int, pkt []byte) {
+			eng.HandlePacket(pkt)
+		})
+		defer bc.Close()
+		srv := server.New(sess, bus)
+		for steps := 0; !eng.Done(); steps++ {
+			if err := srv.Step(); err != nil {
+				t.Fatal(err)
+			}
+			if steps > 50*sess.Codec().N() {
+				t.Fatalf("p=%v: never completed", p)
+			}
+		}
+		got, err := eng.File()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("p=%v: corrupted file", p)
+		}
+		eta, etaC, etaD := eng.Efficiency()
+		if p == 0 && (etaD < 0.999 || etaC < 0.85) {
+			t.Fatalf("lossless efficiencies too low: ηc=%v ηd=%v", etaC, etaD)
+		}
+		if eta <= 0 || eta > 1.01 {
+			t.Fatalf("p=%v: η=%v out of range", p, eta)
+		}
+		if p > 0 {
+			ml := eng.MeasuredLoss()
+			if ml < p-0.1 || ml > p+0.1 {
+				t.Fatalf("measured loss %v, injected %v", ml, p)
+			}
+		}
+	}
+}
+
+// TestEndToEndLayered exercises the 4-layer protocol with congestion
+// control: a lossy client must still complete and stay at a sane level.
+func TestEndToEndLayered(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 60_000)
+	rng.Read(data)
+	cfg := core.DefaultConfig()
+	cfg.Layers = 4
+	cfg.SPInterval = 8
+	sess, err := core.NewSession(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bus := transport.NewBus(4)
+	var bc *transport.BusClient
+	eng, err := New(sess.Info(), 1, func(level int) { bc.SetLevel(level) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc = bus.NewClient(1, &netsim.Bernoulli{P: 0.1, Rng: rng}, func(layer int, pkt []byte) {
+		eng.HandlePacket(pkt)
+	})
+	defer bc.Close()
+	srv := server.New(sess, bus)
+	for steps := 0; !eng.Done(); steps++ {
+		if err := srv.Step(); err != nil {
+			t.Fatal(err)
+		}
+		if steps > 100*sess.Codec().N() {
+			t.Fatal("layered client never completed")
+		}
+	}
+	got, err := eng.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("corrupted file")
+	}
+	if lvl := eng.Level(); lvl < 0 || lvl > 3 {
+		t.Fatalf("level %d out of range", lvl)
+	}
+	eta, _, _ := eng.Efficiency()
+	if eta <= 0.2 {
+		t.Fatalf("layered efficiency suspiciously low: %v", eta)
+	}
+}
+
+// TestLayeredAdaptsDown: a client subscribed high with heavy loss must
+// drop levels.
+func TestLayeredAdaptsDown(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	data := make([]byte, 40_000)
+	rng.Read(data)
+	cfg := core.DefaultConfig()
+	cfg.Layers = 4
+	cfg.SPInterval = 4
+	sess, _ := core.NewSession(data, cfg)
+	bus := transport.NewBus(4)
+	var bc *transport.BusClient
+	eng, _ := New(sess.Info(), 3, func(level int) { bc.SetLevel(level) })
+	bc = bus.NewClient(3, &netsim.Bernoulli{P: 0.55, Rng: rng}, func(layer int, pkt []byte) {
+		eng.HandlePacket(pkt)
+	})
+	defer bc.Close()
+	srv := server.New(sess, bus)
+	minLevel := 3
+	// Keep stepping past completion: the point is the controller's
+	// adaptation, which runs on every SP regardless of decode state.
+	for steps := 0; steps < 400; steps++ {
+		srv.Step()
+		if eng.Level() < minLevel {
+			minLevel = eng.Level()
+		}
+	}
+	if minLevel == 3 {
+		t.Fatal("controller never dropped under 55% loss")
+	}
+}
+
+func TestRejectsForeignPackets(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	data := make([]byte, 5_000)
+	rng.Read(data)
+	cfg := core.DefaultConfig()
+	cfg.Layers = 1
+	sess, _ := core.NewSession(data, cfg)
+	eng, _ := New(sess.Info(), 0, nil)
+	pkt := sess.Packet(0, 0, 1, 0)
+	pkt[10] ^= 0x55
+	if _, err := eng.HandlePacket(pkt); err == nil {
+		t.Fatal("foreign packet accepted")
+	}
+	if _, err := eng.HandlePacket([]byte{1}); err == nil {
+		t.Fatal("short packet accepted")
+	}
+}

@@ -1,0 +1,122 @@
+// Package code defines the erasure-code abstraction shared by every codec
+// in this repository (Tornado, Reed-Solomon Vandermonde, Reed-Solomon
+// Cauchy, and interleaved block codes), plus payload split/join helpers.
+//
+// All codecs are systematic and fixed-rate: k source packets are stretched
+// into n encoding packets whose first k entries are the source packets
+// themselves (the paper fixes the stretch factor n/k = 2 throughout).
+package code
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Codec is a systematic erasure code over equal-length packets.
+type Codec interface {
+	// Name identifies the codec in experiment output (e.g. "tornado-a").
+	Name() string
+	// K returns the number of source packets.
+	K() int
+	// N returns the total number of encoding packets (stretch = N/K).
+	N() int
+	// PacketLen returns the packet length in bytes.
+	PacketLen() int
+	// Encode produces the full encoding of the k source packets: a slice
+	// of n packets whose first k entries alias src. Each src packet must
+	// have length PacketLen.
+	Encode(src [][]byte) ([][]byte, error)
+	// NewDecoder returns a fresh decoder for one reception session.
+	// Decoders are independent; the codec itself is immutable and safe
+	// for concurrent use once constructed.
+	NewDecoder() Decoder
+}
+
+// Decoder incrementally consumes encoding packets until the source data is
+// recoverable. This mirrors the paper's receiver: packets arrive in
+// arbitrary order (carousel position, loss, layering), and the decoder
+// "can detect when it has received enough encoding packets to reconstruct"
+// (§5.1).
+type Decoder interface {
+	// Add supplies encoding packet i. It reports whether the source is
+	// now recoverable. Duplicates and packets received after completion
+	// are ignored (without error). The decoder may retain data.
+	Add(i int, data []byte) (done bool, err error)
+	// Done reports whether the source is recoverable.
+	Done() bool
+	// Received returns the number of distinct packets accepted so far.
+	Received() int
+	// Source recovers and returns the k source packets. It returns an
+	// error if the decoder is not Done.
+	Source() ([][]byte, error)
+}
+
+// ErrNotReady is returned by Source when not enough packets have arrived.
+var ErrNotReady = errors.New("code: not enough packets received to decode")
+
+// CheckSrc validates an Encode argument.
+func CheckSrc(src [][]byte, k, packetLen int) error {
+	if len(src) != k {
+		return fmt.Errorf("code: got %d source packets, want %d", len(src), k)
+	}
+	for i, p := range src {
+		if len(p) != packetLen {
+			return fmt.Errorf("code: source packet %d has length %d, want %d", i, len(p), packetLen)
+		}
+	}
+	return nil
+}
+
+// CheckPacket validates a Decoder.Add argument.
+func CheckPacket(i int, data []byte, n, packetLen int) error {
+	if i < 0 || i >= n {
+		return fmt.Errorf("code: packet index %d out of range [0,%d)", i, n)
+	}
+	if len(data) != packetLen {
+		return fmt.Errorf("code: packet %d has length %d, want %d", i, len(data), packetLen)
+	}
+	return nil
+}
+
+// Split partitions data into k packets of packetLen bytes, zero-padding the
+// tail. It returns an error if data does not fit.
+func Split(data []byte, k, packetLen int) ([][]byte, error) {
+	if k <= 0 || packetLen <= 0 {
+		return nil, fmt.Errorf("code: invalid split k=%d packetLen=%d", k, packetLen)
+	}
+	if len(data) > k*packetLen {
+		return nil, fmt.Errorf("code: %d bytes do not fit in %d packets of %d bytes", len(data), k, packetLen)
+	}
+	buf := make([]byte, k*packetLen)
+	copy(buf, data)
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = buf[i*packetLen : (i+1)*packetLen]
+	}
+	return out, nil
+}
+
+// Join reassembles packets into a byte slice of the original length.
+func Join(pkts [][]byte, origLen int) ([]byte, error) {
+	total := 0
+	for _, p := range pkts {
+		total += len(p)
+	}
+	if origLen < 0 || origLen > total {
+		return nil, fmt.Errorf("code: original length %d exceeds packet data %d", origLen, total)
+	}
+	out := make([]byte, 0, total)
+	for _, p := range pkts {
+		out = append(out, p...)
+	}
+	return out[:origLen], nil
+}
+
+// PacketsFor returns the number of packets of size packetLen needed to
+// carry length bytes.
+func PacketsFor(length, packetLen int) int {
+	if packetLen <= 0 {
+		return 0
+	}
+	return (length + packetLen - 1) / packetLen
+}

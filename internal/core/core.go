@@ -1,0 +1,321 @@
+// Package core implements the digital fountain itself (§3-§4): a Session
+// wraps a file encoded once with an erasure codec and metered out as an
+// endless carousel of encoding packets, and a Receiver drinks from that
+// stream — in any order, with any losses — until its decoder reports that
+// the source is reconstructable.
+//
+// The server side iterates the carousel either as a seeded random
+// permutation on a single group (§6 simulations) or via the layered
+// reverse-binary schedule of §7.1.2 across g groups; packets carry the
+// 12-byte header of §7.3 including SP and burst markers for the layered
+// congestion-control scheme.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/code"
+	"repro/internal/interleave"
+	"repro/internal/proto"
+	"repro/internal/rs"
+	"repro/internal/sched"
+	"repro/internal/tornado"
+)
+
+// Config selects the code and framing of a session.
+type Config struct {
+	Codec      uint8 // proto.CodecTornadoA, ...
+	PacketLen  int   // payload bytes per packet (header excluded)
+	Stretch    int   // n/k, the paper uses 2
+	Layers     int   // multicast groups g (1 = single-layer protocol)
+	Seed       int64 // graph/permutation seed
+	SPInterval int   // rounds between synchronization points (0 = 16)
+	Session    uint16
+	// InterleaveBlockK is the per-block k when Codec is CodecInterleaved.
+	InterleaveBlockK int
+}
+
+// DefaultConfig mirrors the prototype in §7.3: Tornado A, 500-byte
+// payloads (+12-byte header = 512), stretch factor 2, 4 layers.
+func DefaultConfig() Config {
+	return Config{
+		Codec:     proto.CodecTornadoA,
+		PacketLen: 500,
+		Stretch:   2,
+		Layers:    4,
+		Seed:      1998,
+		Session:   0xDF98,
+	}
+}
+
+// Session is an encoded file ready for fountain transmission. It is
+// immutable after creation and safe for concurrent readers.
+type Session struct {
+	cfg      Config
+	codec    code.Codec
+	enc      [][]byte
+	fileLen  int
+	fileHash uint64
+	sched    *sched.Schedule
+	perm     []int // randomized carousel order for single-layer mode
+}
+
+// buildCodec constructs the codec named by cfg for k source packets.
+// Packet lengths are padded to the codec's alignment requirement.
+func buildCodec(cfg Config, k int) (code.Codec, error) {
+	n := k * cfg.Stretch
+	switch cfg.Codec {
+	case proto.CodecTornadoA:
+		return tornado.New(tornado.A(), k, n, cfg.PacketLen, cfg.Seed)
+	case proto.CodecTornadoB:
+		return tornado.New(tornado.B(), k, n, cfg.PacketLen, cfg.Seed)
+	case proto.CodecVandermonde:
+		return rs.NewVandermonde(k, n, cfg.PacketLen)
+	case proto.CodecCauchy:
+		return rs.NewCauchy(k, n, cfg.PacketLen)
+	case proto.CodecInterleaved:
+		bk := cfg.InterleaveBlockK
+		if bk <= 0 {
+			bk = 50
+		}
+		return interleave.NewForFile(k, bk, cfg.Stretch, cfg.PacketLen)
+	default:
+		return nil, fmt.Errorf("core: unknown codec %d", cfg.Codec)
+	}
+}
+
+// PadPacketLen rounds a payload length up to the alignment the codec
+// needs (16 bytes covers the Cauchy bit-matrix sub-blocking and the
+// 16-bit symbols of Vandermonde).
+func PadPacketLen(pl int) int {
+	if pl%16 == 0 {
+		return pl
+	}
+	return pl + 16 - pl%16
+}
+
+// NewSession encodes data for fountain distribution.
+func NewSession(data []byte, cfg Config) (*Session, error) {
+	if cfg.Stretch < 2 {
+		return nil, fmt.Errorf("core: stretch %d < 2", cfg.Stretch)
+	}
+	if cfg.Layers < 1 || cfg.Layers > 16 {
+		return nil, fmt.Errorf("core: layer count %d out of range", cfg.Layers)
+	}
+	cfg.PacketLen = PadPacketLen(cfg.PacketLen)
+	if cfg.SPInterval <= 0 {
+		cfg.SPInterval = 16
+	}
+	k := code.PacketsFor(len(data), cfg.PacketLen)
+	if k == 0 {
+		k = 1
+	}
+	codec, err := buildCodec(cfg, k)
+	if err != nil {
+		return nil, err
+	}
+	// Interleaved codecs round k up to a whole number of blocks; split
+	// with the codec's actual k (the tail packets are zero padding).
+	src, err := code.Split(data, codec.K(), cfg.PacketLen)
+	if err != nil {
+		return nil, err
+	}
+	enc, err := codec.Encode(src)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := sched.New(cfg.Layers)
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{
+		cfg:      cfg,
+		codec:    codec,
+		enc:      enc,
+		fileLen:  len(data),
+		fileHash: proto.FNV64a(data),
+		sched:    sc,
+		perm:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)).Perm(codec.N()),
+	}
+	return s, nil
+}
+
+// Codec exposes the session's erasure codec.
+func (s *Session) Codec() code.Codec { return s.codec }
+
+// Config returns the session configuration (with padded packet length).
+func (s *Session) Config() Config { return s.cfg }
+
+// Info returns the control-channel descriptor of the session.
+func (s *Session) Info() proto.SessionInfo {
+	info := proto.SessionInfo{
+		Session:    s.cfg.Session,
+		Codec:      s.cfg.Codec,
+		Layers:     uint8(s.cfg.Layers),
+		K:          uint32(s.codec.K()),
+		N:          uint32(s.codec.N()),
+		PacketLen:  uint32(s.cfg.PacketLen),
+		FileLen:    uint64(s.fileLen),
+		Seed:       s.cfg.Seed,
+		SPInterval: uint32(s.cfg.SPInterval),
+		FileHash:   s.fileHash,
+	}
+	if s.cfg.Codec == proto.CodecInterleaved {
+		bk := s.cfg.InterleaveBlockK
+		if bk <= 0 {
+			bk = 50
+		}
+		info.InterleaveK = uint32(bk)
+	}
+	return info
+}
+
+// Packet returns the wire form (header + payload) of encoding packet idx
+// for the given layer/serial/flags.
+func (s *Session) Packet(idx int, layer uint8, serial uint32, flags uint8) []byte {
+	h := proto.Header{
+		Index:   uint32(idx),
+		Serial:  serial,
+		Group:   layer,
+		Flags:   flags,
+		Session: s.cfg.Session,
+	}
+	out := h.Marshal(make([]byte, 0, proto.HeaderLen+len(s.enc[idx])))
+	return append(out, s.enc[idx]...)
+}
+
+// CarouselIndices returns the encoding indices transmitted on `layer`
+// during `round`. In single-layer mode this walks the seeded random
+// permutation (the randomized carousel of §6); in layered mode it follows
+// the reverse-binary schedule (§7.1.2), which guarantees the One Level
+// Property.
+func (s *Session) CarouselIndices(layer, round int) []int {
+	n := s.codec.N()
+	if s.cfg.Layers == 1 {
+		i := round % n
+		return []int{s.perm[i]}
+	}
+	idxs := s.sched.PacketIndices(layer, round, n)
+	return idxs
+}
+
+// IsSP reports whether the given round carries a synchronization point
+// marker on this layer. SPs are more frequent on lower layers ("the rate
+// at which SPs are sent is inversely proportional to the bandwidth").
+func (s *Session) IsSP(layer, round int) bool {
+	interval := s.cfg.SPInterval << uint(layer)
+	return round%interval == 0
+}
+
+// BurstRound reports whether the given round is part of a sender burst
+// (one round of doubled rate preceding each SP, §7.1.1).
+func (s *Session) BurstRound(layer, round int) bool {
+	interval := s.cfg.SPInterval << uint(layer)
+	return round%interval == interval-1
+}
+
+// Receiver consumes fountain packets and reconstructs the file, keeping
+// the efficiency accounting of §7.3: η = k/total, ηc = k/distinct,
+// ηd = distinct/total.
+type Receiver struct {
+	info    proto.SessionInfo
+	dec     code.Decoder
+	total   int // packets accepted (right session, parseable)
+	done    bool
+	fileBuf []byte
+}
+
+// NewReceiver builds a receiver from the control descriptor. The receiver
+// reconstructs the codec locally from the descriptor's parameters — no
+// further server state is needed (the "advance agreement" of §5.1).
+func NewReceiver(info proto.SessionInfo) (*Receiver, error) {
+	cfg := Config{
+		Codec:            info.Codec,
+		PacketLen:        int(info.PacketLen),
+		Stretch:          int(info.N / info.K),
+		Layers:           int(info.Layers),
+		Seed:             info.Seed,
+		Session:          info.Session,
+		InterleaveBlockK: int(info.InterleaveK),
+	}
+	codec, err := buildCodec(cfg, int(info.K))
+	if err != nil {
+		return nil, err
+	}
+	if codec.N() != int(info.N) {
+		return nil, fmt.Errorf("core: codec produced n=%d, descriptor says %d", codec.N(), info.N)
+	}
+	return &Receiver{info: info, dec: codec.NewDecoder()}, nil
+}
+
+// HandleRaw ingests one wire packet (header + payload). Packets from other
+// sessions or with malformed headers are rejected with an error; duplicates
+// are counted but ignored. It reports whether the file is now decodable.
+func (r *Receiver) HandleRaw(pkt []byte) (bool, error) {
+	h, payload, err := proto.ParseHeader(pkt)
+	if err != nil {
+		return r.done, err
+	}
+	if h.Session != r.info.Session {
+		return r.done, fmt.Errorf("core: packet from session %#x, want %#x", h.Session, r.info.Session)
+	}
+	return r.Handle(int(h.Index), payload)
+}
+
+// Handle ingests a packet already stripped to (index, payload).
+func (r *Receiver) Handle(idx int, payload []byte) (bool, error) {
+	if r.done {
+		return true, nil
+	}
+	r.total++
+	done, err := r.dec.Add(idx, payload)
+	if err != nil {
+		r.total--
+		return r.done, err
+	}
+	if done {
+		r.done = true
+	}
+	return r.done, nil
+}
+
+// Done reports whether the file can be reconstructed.
+func (r *Receiver) Done() bool { return r.done }
+
+// File reassembles and verifies the file.
+func (r *Receiver) File() ([]byte, error) {
+	if r.fileBuf != nil {
+		return r.fileBuf, nil
+	}
+	src, err := r.dec.Source()
+	if err != nil {
+		return nil, err
+	}
+	data, err := code.Join(src, int(r.info.FileLen))
+	if err != nil {
+		return nil, err
+	}
+	if got := proto.FNV64a(data); got != r.info.FileHash {
+		return nil, fmt.Errorf("core: file hash mismatch: got %#x want %#x", got, r.info.FileHash)
+	}
+	r.fileBuf = data
+	return data, nil
+}
+
+// Stats returns (total received, distinct, k) for efficiency computation.
+func (r *Receiver) Stats() (total, distinct, k int) {
+	return r.total, r.dec.Received(), int(r.info.K)
+}
+
+// Efficiency returns the reception efficiency triple of §7.3.
+func (r *Receiver) Efficiency() (eta, etaC, etaD float64) {
+	total, distinct, k := r.Stats()
+	if total == 0 || distinct == 0 {
+		return 0, 0, 0
+	}
+	eta = float64(k) / float64(total)
+	etaC = float64(k) / float64(distinct)
+	etaD = float64(distinct) / float64(total)
+	return
+}

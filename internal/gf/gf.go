@@ -1,0 +1,152 @@
+// Package gf implements arithmetic over the binary Galois fields GF(2^8)
+// and GF(2^16) using logarithm/antilogarithm tables.
+//
+// The Reed-Solomon erasure codes in internal/rs (the paper's baselines:
+// Rizzo-style Vandermonde codes and Blömer-style Cauchy codes) perform all
+// symbol arithmetic through this package. GF(2^16) is required because the
+// paper's largest configuration (a 16 MB file in 1 KB packets with stretch
+// factor 2) needs k+l = 32768 distinct code symbols, which exceeds GF(2^8).
+package gf
+
+import "fmt"
+
+// Standard primitive polynomials. These match the polynomials used by the
+// reference implementations the paper benchmarks (Rizzo's fec uses 0x1100B
+// for GF(2^16); 0x11D is the usual choice for GF(2^8)).
+const (
+	Poly8  = 0x11D   // x^8 + x^4 + x^3 + x^2 + 1
+	Poly16 = 0x1100B // x^16 + x^12 + x^3 + x + 1
+)
+
+// Field is a binary extension field GF(2^w) for w <= 16. The zero Field is
+// not usable; construct with New8, New16 or NewField.
+type Field struct {
+	w    uint   // symbol width in bits
+	n    int    // field size, 1 << w
+	mask uint32 // n - 1
+	poly uint32
+
+	// log[x] is the discrete log of x (undefined for x=0).
+	// exp has length 2n so that exp[log[a]+log[b]] avoids a modulo.
+	log []uint32
+	exp []uint32
+}
+
+var (
+	field8  = mustNewField(8, Poly8)
+	field16 = mustNewField(16, Poly16)
+)
+
+// New8 returns the shared GF(2^8) field.
+func New8() *Field { return field8 }
+
+// New16 returns the shared GF(2^16) field.
+func New16() *Field { return field16 }
+
+// NewField constructs GF(2^w) with the given primitive polynomial.
+// w must be in [2, 16]. It returns an error if the polynomial does not
+// generate the full multiplicative group (i.e. is not primitive).
+func NewField(w uint, poly uint32) (*Field, error) {
+	if w < 2 || w > 16 {
+		return nil, fmt.Errorf("gf: unsupported width %d (want 2..16)", w)
+	}
+	f := &Field{
+		w:    w,
+		n:    1 << w,
+		mask: uint32(1<<w) - 1,
+		poly: poly,
+		log:  make([]uint32, 1<<w),
+		exp:  make([]uint32, 2<<w),
+	}
+	x := uint32(1)
+	for i := 0; i < f.n-1; i++ {
+		if x == 1 && i > 0 {
+			return nil, fmt.Errorf("gf: polynomial %#x is not primitive for width %d", poly, w)
+		}
+		f.exp[i] = x
+		f.log[x] = uint32(i)
+		x <<= 1
+		if x&uint32(f.n) != 0 {
+			x ^= poly
+		}
+	}
+	// Duplicate the exp table so exp[i+j] is valid for i,j < n-1.
+	for i := f.n - 1; i < 2*f.n; i++ {
+		f.exp[i] = f.exp[i-(f.n-1)]
+	}
+	return f, nil
+}
+
+func mustNewField(w uint, poly uint32) *Field {
+	f, err := NewField(w, poly)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Width returns the symbol width in bits.
+func (f *Field) Width() uint { return f.w }
+
+// Size returns the number of field elements, 2^w.
+func (f *Field) Size() int { return f.n }
+
+// Add returns a + b (which equals a - b in characteristic 2).
+func (f *Field) Add(a, b uint32) uint32 { return a ^ b }
+
+// Mul returns the product a*b.
+func (f *Field) Mul(a, b uint32) uint32 {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return f.exp[f.log[a]+f.log[b]]
+}
+
+// Div returns a/b. It panics if b == 0.
+func (f *Field) Div(a, b uint32) uint32 {
+	if b == 0 {
+		panic("gf: division by zero")
+	}
+	if a == 0 {
+		return 0
+	}
+	la, lb := f.log[a], f.log[b]
+	if la < lb {
+		la += uint32(f.n) - 1
+	}
+	return f.exp[la-lb]
+}
+
+// Inv returns the multiplicative inverse of a. It panics if a == 0.
+func (f *Field) Inv(a uint32) uint32 {
+	if a == 0 {
+		panic("gf: inverse of zero")
+	}
+	return f.exp[uint32(f.n)-1-f.log[a]]
+}
+
+// Exp returns the generator raised to the power i (i may be any
+// non-negative integer).
+func (f *Field) Exp(i int) uint32 {
+	return f.exp[i%(f.n-1)]
+}
+
+// Log returns the discrete logarithm of a. It panics if a == 0.
+func (f *Field) Log(a uint32) uint32 {
+	if a == 0 {
+		panic("gf: log of zero")
+	}
+	return f.log[a]
+}
+
+// Pow returns a raised to the power e (e >= 0).
+func (f *Field) Pow(a uint32, e int) uint32 {
+	if e == 0 {
+		return 1
+	}
+	if a == 0 {
+		return 0
+	}
+	l := (int(f.log[a]) * e) % (f.n - 1)
+	return f.exp[l]
+}

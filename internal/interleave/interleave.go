@@ -1,0 +1,183 @@
+// Package interleave implements the interleaved block-coding baseline of
+// §6: K source packets are partitioned into B = K/k blocks of k packets,
+// each block is stretched to k+l packets with a standard Reed-Solomon
+// (Cauchy) erasure code, and the carousel transmits one packet from each
+// block in turn ("the encoding consists of sequences of B packets, each of
+// which consist of exactly one packet from each block").
+//
+// The receiver must fill every block — k distinct packets per block — so
+// reception efficiency decays with the number of blocks (the coupon
+// collector effect of Figure 3), which is the phenomenon Figures 4-6 and
+// Table 4 quantify against Tornado codes.
+package interleave
+
+import (
+	"fmt"
+
+	"repro/internal/code"
+	"repro/internal/rs"
+)
+
+// Codec is the interleaved block code. It satisfies code.Codec with
+// K() = total source packets and N() = total encoding packets.
+//
+// Packet indexing is carousel order: index i corresponds to block i % B,
+// within-block packet i / B. This matches the interleaved transmission
+// order, so a carousel that cycles 0..N-1 sends one packet of each block
+// per round.
+type Codec struct {
+	blockK    int // k: source packets per block
+	blockN    int // k + l: encoding packets per block
+	blocks    int // B
+	packetLen int
+	inner     *rs.Cauchy
+}
+
+// New constructs an interleaved codec over `blocks` blocks of `blockK`
+// source packets, each stretched to `blockN` encoding packets.
+func New(blockK, blockN, blocks, packetLen int) (*Codec, error) {
+	if blocks <= 0 {
+		return nil, fmt.Errorf("interleave: invalid block count %d", blocks)
+	}
+	inner, err := rs.NewCauchy(blockK, blockN, packetLen)
+	if err != nil {
+		return nil, err
+	}
+	return &Codec{blockK: blockK, blockN: blockN, blocks: blocks, packetLen: packetLen, inner: inner}, nil
+}
+
+// NewForFile sizes an interleaved codec for K total source packets split
+// into blocks of at most blockK packets, with stretch factor
+// stretch = blockN/blockK. K is rounded up to a multiple of the block size.
+func NewForFile(totalK, blockK, stretch, packetLen int) (*Codec, error) {
+	if blockK <= 0 || totalK <= 0 {
+		return nil, fmt.Errorf("interleave: invalid sizes totalK=%d blockK=%d", totalK, blockK)
+	}
+	if blockK > totalK {
+		blockK = totalK
+	}
+	blocks := (totalK + blockK - 1) / blockK
+	return New(blockK, blockK*stretch, blocks, packetLen)
+}
+
+// Name implements code.Codec.
+func (c *Codec) Name() string { return fmt.Sprintf("interleaved-k%d", c.blockK) }
+
+// K implements code.Codec.
+func (c *Codec) K() int { return c.blockK * c.blocks }
+
+// N implements code.Codec.
+func (c *Codec) N() int { return c.blockN * c.blocks }
+
+// PacketLen implements code.Codec.
+func (c *Codec) PacketLen() int { return c.packetLen }
+
+// Blocks returns the number of interleaved blocks B.
+func (c *Codec) Blocks() int { return c.blocks }
+
+// BlockK returns the per-block source packet count k.
+func (c *Codec) BlockK() int { return c.blockK }
+
+// position maps an encoding packet index to (block, within-block index).
+func (c *Codec) position(i int) (block, inner int) {
+	return i % c.blocks, i / c.blocks
+}
+
+// index maps (block, within-block index) to an encoding packet index.
+func (c *Codec) index(block, inner int) int {
+	return inner*c.blocks + block
+}
+
+// Encode implements code.Codec. src is in file order (block-major: packets
+// 0..k-1 form block 0); the returned encoding is in carousel order, so the
+// code is systematic via the SourceIndex mapping rather than a prefix:
+// out[SourceIndex(f)] aliases src[f].
+func (c *Codec) Encode(src [][]byte) ([][]byte, error) {
+	if err := code.CheckSrc(src, c.K(), c.packetLen); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, c.N())
+	blockSrc := make([][]byte, c.blockK)
+	for b := 0; b < c.blocks; b++ {
+		for j := 0; j < c.blockK; j++ {
+			blockSrc[j] = src[b*c.blockK+j]
+		}
+		enc, err := c.inner.Encode(blockSrc)
+		if err != nil {
+			return nil, err
+		}
+		for j := 0; j < c.blockN; j++ {
+			out[c.index(b, j)] = enc[j]
+		}
+	}
+	return out, nil
+}
+
+// SourceIndex returns the encoding index of file source packet f (file
+// order: block-major, i.e. packets 0..k-1 are block 0).
+func (c *Codec) SourceIndex(f int) int {
+	block := f / c.blockK
+	inner := f % c.blockK
+	return c.index(block, inner)
+}
+
+// NewDecoder implements code.Codec.
+func (c *Codec) NewDecoder() code.Decoder {
+	d := &decoder{c: c, blocks: make([]code.Decoder, c.blocks)}
+	for b := range d.blocks {
+		d.blocks[b] = c.inner.NewDecoder()
+	}
+	d.pending = c.blocks
+	return d
+}
+
+type decoder struct {
+	c        *Codec
+	blocks   []code.Decoder
+	pending  int // blocks not yet decodable
+	received int
+}
+
+func (d *decoder) Add(i int, data []byte) (bool, error) {
+	if err := code.CheckPacket(i, data, d.c.N(), d.c.packetLen); err != nil {
+		return d.Done(), err
+	}
+	if d.Done() {
+		return true, nil
+	}
+	b, inner := d.c.position(i)
+	bd := d.blocks[b]
+	wasDone := bd.Done()
+	before := bd.Received()
+	done, err := bd.Add(inner, data)
+	if err != nil {
+		return d.Done(), err
+	}
+	if bd.Received() > before {
+		d.received++
+	}
+	if done && !wasDone {
+		d.pending--
+	}
+	return d.Done(), nil
+}
+
+func (d *decoder) Done() bool { return d.pending == 0 }
+
+func (d *decoder) Received() int { return d.received }
+
+// Source returns the file's source packets in file order (block-major).
+func (d *decoder) Source() ([][]byte, error) {
+	if !d.Done() {
+		return nil, code.ErrNotReady
+	}
+	out := make([][]byte, 0, d.c.K())
+	for b := 0; b < d.c.blocks; b++ {
+		src, err := d.blocks[b].Source()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, src...)
+	}
+	return out, nil
+}

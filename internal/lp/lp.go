@@ -1,0 +1,264 @@
+// Package lp implements a small dense-simplex linear-program solver:
+// maximize c·x subject to A·x <= b, x >= 0.
+//
+// It exists to design Tornado degree distributions the same way the
+// original authors did — "the degree sequences were found using linear
+// programming" — by maximizing the And-Or iteration margin subject to the
+// rate constraint (see internal/tornado/design.go). Problems are tiny
+// (tens of variables and constraints), so a textbook two-phase tableau
+// simplex with Bland's rule is entirely adequate.
+package lp
+
+import (
+	"errors"
+	"math"
+)
+
+// Errors returned by Solve.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+)
+
+const eps = 1e-9
+
+// Problem is max c·x s.t. A x <= b, x >= 0. Rows of A must all have
+// len(c) entries. Equality constraints can be encoded as two opposing
+// inequalities.
+type Problem struct {
+	C []float64   // objective coefficients, length n
+	A [][]float64 // m rows of length n
+	B []float64   // m right-hand sides (may be negative)
+}
+
+// Solve returns an optimal x and the objective value.
+func Solve(p Problem) (x []float64, obj float64, err error) {
+	n := len(p.C)
+	m := len(p.A)
+	if len(p.B) != m {
+		return nil, 0, errors.New("lp: |B| != rows of A")
+	}
+	for _, row := range p.A {
+		if len(row) != n {
+			return nil, 0, errors.New("lp: row length != |C|")
+		}
+	}
+	// Standard form with slacks: A x + s = b. Negative b rows are negated
+	// (flipping the slack sign), which then require artificial variables.
+	// Phase 1 minimizes the sum of artificials; phase 2 optimizes c.
+	type tableau struct {
+		a     [][]float64 // m x (n + m + artCount)
+		b     []float64
+		basis []int
+	}
+	art := []int{} // rows needing artificial variables
+	a := make([][]float64, m)
+	b := make([]float64, m)
+	for i := 0; i < m; i++ {
+		row := make([]float64, n+m)
+		copy(row, p.A[i])
+		bi := p.B[i]
+		slackSign := 1.0
+		if bi < 0 {
+			for j := range row {
+				row[j] = -row[j]
+			}
+			bi = -bi
+			slackSign = -1.0
+		}
+		row[n+i] = slackSign
+		a[i] = row
+		b[i] = bi
+		if slackSign < 0 {
+			art = append(art, i)
+		}
+	}
+	total := n + m + len(art)
+	t := tableau{a: make([][]float64, m), b: b, basis: make([]int, m)}
+	artCol := n + m
+	artOf := make(map[int]int) // row -> artificial column
+	for _, r := range art {
+		artOf[r] = artCol
+		artCol++
+	}
+	for i := 0; i < m; i++ {
+		row := make([]float64, total)
+		copy(row, a[i])
+		if c, ok := artOf[i]; ok {
+			row[c] = 1
+			t.basis[i] = c
+		} else {
+			t.basis[i] = n + i
+		}
+		t.a[i] = row
+	}
+
+	pivot := func(obj []float64, objVal *float64, maxCol int) error {
+		const pivTol = 1e-7 // refuse numerically tiny pivots
+		for iter := 0; iter < 20000; iter++ {
+			// Entering column: Dantzig's rule (most positive reduced cost)
+			// for speed and numerical quality; fall back to Bland's rule
+			// after many iterations to guarantee termination.
+			col := -1
+			if iter < 15000 {
+				best := eps
+				for j := 0; j < maxCol; j++ {
+					if obj[j] > best {
+						best = obj[j]
+						col = j
+					}
+				}
+			} else {
+				for j := 0; j < maxCol; j++ {
+					if obj[j] > eps {
+						col = j
+						break
+					}
+				}
+			}
+			if col < 0 {
+				return nil // optimal
+			}
+			// Ratio test; among near-ties prefer the largest pivot element
+			// to keep the tableau well conditioned.
+			row := -1
+			best := math.Inf(1)
+			for i := 0; i < m; i++ {
+				if t.a[i][col] > pivTol {
+					r := t.b[i] / t.a[i][col]
+					switch {
+					case r < best-1e-12:
+						best = r
+						row = i
+					case r < best+1e-12 && row >= 0 && t.a[i][col] > t.a[row][col]:
+						row = i
+					}
+				}
+			}
+			if row < 0 {
+				return ErrUnbounded
+			}
+			// Pivot on (row, col).
+			pv := t.a[row][col]
+			for j := 0; j < total; j++ {
+				t.a[row][j] /= pv
+			}
+			t.b[row] /= pv
+			for i := 0; i < m; i++ {
+				if i != row && math.Abs(t.a[i][col]) > eps {
+					f := t.a[i][col]
+					for j := 0; j < total; j++ {
+						t.a[i][j] -= f * t.a[row][j]
+					}
+					t.b[i] -= f * t.b[row]
+				}
+			}
+			if math.Abs(obj[col]) > eps {
+				f := obj[col]
+				for j := 0; j < total; j++ {
+					obj[j] -= f * t.a[row][j]
+				}
+				*objVal -= f * t.b[row]
+			}
+			t.basis[row] = col
+		}
+		return errors.New("lp: iteration limit")
+	}
+
+	// Phase 1.
+	if len(art) > 0 {
+		obj1 := make([]float64, total)
+		val1 := 0.0
+		// minimize sum of artificials == maximize -sum; express reduced costs.
+		for _, c := range artOf {
+			obj1[c] = -1
+		}
+		// Make reduced costs consistent with the starting basis (artificials
+		// are basic, so eliminate their columns from the objective).
+		for i, c := range t.basis {
+			if obj1[c] != 0 {
+				f := obj1[c]
+				for j := 0; j < total; j++ {
+					obj1[j] -= f * t.a[i][j]
+				}
+				val1 -= f * t.b[i]
+			}
+		}
+		if err := pivot(obj1, &val1, total); err != nil {
+			return nil, 0, err
+		}
+		// val1 tracks the negative of the phase-1 objective (-sum of
+		// artificials); a strictly positive residue means infeasible.
+		if val1 > 1e-6 {
+			return nil, 0, ErrInfeasible
+		}
+		// Drive any remaining (degenerate, value-0) artificial variables
+		// out of the basis; rows where that is impossible are redundant
+		// constraints and are dropped.
+		for i := 0; i < m; i++ {
+			if t.basis[i] < n+m {
+				continue
+			}
+			driven := false
+			for j := 0; j < n+m; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					pv := t.a[i][j]
+					for jj := 0; jj < total; jj++ {
+						t.a[i][jj] /= pv
+					}
+					t.b[i] /= pv
+					for ii := 0; ii < m; ii++ {
+						if ii != i && math.Abs(t.a[ii][j]) > eps {
+							f := t.a[ii][j]
+							for jj := 0; jj < total; jj++ {
+								t.a[ii][jj] -= f * t.a[i][jj]
+							}
+							t.b[ii] -= f * t.b[i]
+						}
+					}
+					t.basis[i] = j
+					driven = true
+					break
+				}
+			}
+			if !driven {
+				// Redundant row: remove it.
+				t.a[i] = t.a[m-1]
+				t.b[i] = t.b[m-1]
+				t.basis[i] = t.basis[m-1]
+				t.a = t.a[:m-1]
+				t.b = t.b[:m-1]
+				t.basis = t.basis[:m-1]
+				m--
+				i--
+			}
+		}
+	}
+
+	// Phase 2: artificial columns are excluded from entering (maxCol).
+	obj2 := make([]float64, total)
+	val2 := 0.0
+	copy(obj2, p.C)
+	for i, c := range t.basis {
+		if math.Abs(obj2[c]) > eps {
+			f := obj2[c]
+			for j := 0; j < total; j++ {
+				obj2[j] -= f * t.a[i][j]
+			}
+			val2 -= f * t.b[i]
+		}
+	}
+	if err := pivot(obj2, &val2, n+m); err != nil {
+		return nil, 0, err
+	}
+	x = make([]float64, n)
+	for i, c := range t.basis {
+		if c < n {
+			x[c] = t.b[i]
+		}
+	}
+	for j, cj := range p.C {
+		obj += cj * x[j]
+	}
+	return x, obj, nil
+}

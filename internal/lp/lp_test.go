@@ -1,0 +1,189 @@
+package lp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestSimple2D(t *testing.T) {
+	// max x+y s.t. x <= 2, y <= 3, x+y <= 4 -> obj 4.
+	x, obj, err := Solve(Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 0}, {0, 1}, {1, 1}},
+		B: []float64{2, 3, 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 4) {
+		t.Fatalf("obj = %v, want 4 (x=%v)", obj, x)
+	}
+}
+
+func TestEqualityViaPairs(t *testing.T) {
+	// max 3x+2y s.t. x+y == 1 (as <= and >=), x,y >= 0 -> x=1, obj 3.
+	x, obj, err := Solve(Problem{
+		C: []float64{3, 2},
+		A: [][]float64{{1, 1}, {-1, -1}},
+		B: []float64{1, -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 3) || !approx(x[0], 1) {
+		t.Fatalf("got x=%v obj=%v", x, obj)
+	}
+}
+
+func TestInfeasible(t *testing.T) {
+	// x <= 1 and x >= 2.
+	_, _, err := Solve(Problem{
+		C: []float64{1},
+		A: [][]float64{{1}, {-1}},
+		B: []float64{1, -2},
+	})
+	if err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestUnbounded(t *testing.T) {
+	_, _, err := Solve(Problem{
+		C: []float64{1},
+		A: [][]float64{{-1}},
+		B: []float64{0},
+	})
+	if err != ErrUnbounded {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestDegenerate(t *testing.T) {
+	// Degenerate vertex (redundant constraints) must still terminate
+	// (Bland's rule prevents cycling).
+	_, obj, err := Solve(Problem{
+		C: []float64{1, 1},
+		A: [][]float64{{1, 0}, {1, 0}, {0, 1}, {1, 1}},
+		B: []float64{1, 1, 1, 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 2) {
+		t.Fatalf("obj = %v, want 2", obj)
+	}
+}
+
+func TestZeroObjectiveFeasibility(t *testing.T) {
+	// Pure feasibility check: C = 0.
+	x, obj, err := Solve(Problem{
+		C: []float64{0, 0},
+		A: [][]float64{{1, 1}, {-1, -1}},
+		B: []float64{1, -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(obj, 0) || !approx(x[0]+x[1], 1) {
+		t.Fatalf("x=%v obj=%v", x, obj)
+	}
+}
+
+// TestAgainstBruteForce cross-checks random small LPs against vertex
+// enumeration on a box domain.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 50; trial++ {
+		n := 2
+		// Box 0 <= x_i <= u_i plus one random coupling constraint.
+		u := []float64{1 + rng.Float64()*3, 1 + rng.Float64()*3}
+		a1, a2 := rng.Float64()*2, rng.Float64()*2
+		bb := 0.5 + rng.Float64()*4
+		c := []float64{rng.Float64()*4 - 1, rng.Float64()*4 - 1}
+		prob := Problem{
+			C: c,
+			A: [][]float64{{1, 0}, {0, 1}, {a1, a2}},
+			B: []float64{u[0], u[1], bb},
+		}
+		x, obj, err := Solve(prob)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		// Brute force on a fine grid.
+		best := math.Inf(-1)
+		steps := 200
+		for i := 0; i <= steps; i++ {
+			for j := 0; j <= steps; j++ {
+				xx := u[0] * float64(i) / float64(steps)
+				yy := u[1] * float64(j) / float64(steps)
+				if a1*xx+a2*yy <= bb+1e-12 {
+					v := c[0]*xx + c[1]*yy
+					if v > best {
+						best = v
+					}
+				}
+			}
+		}
+		if obj < best-0.05 {
+			t.Fatalf("trial %d: simplex obj %v worse than grid %v (x=%v)", trial, obj, best, x)
+		}
+		// Solution must be feasible.
+		if x[0] < -1e-9 || x[1] < -1e-9 || x[0] > u[0]+1e-6 || x[1] > u[1]+1e-6 || a1*x[0]+a2*x[1] > bb+1e-6 {
+			t.Fatalf("trial %d: infeasible solution %v", trial, x)
+		}
+		_ = n
+	}
+}
+
+// TestSolutionsAreFeasible: whatever Solve returns must satisfy every
+// constraint. Random instances with equality pairs (the degree-design
+// shape) exercise the artificial-variable paths.
+func TestSolutionsAreFeasible(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		n := 2 + rng.Intn(8)
+		m := 2 + rng.Intn(12)
+		prob := Problem{C: make([]float64, n)}
+		for j := range prob.C {
+			prob.C[j] = rng.Float64()*2 - 1
+		}
+		for i := 0; i < m; i++ {
+			row := make([]float64, n)
+			for j := range row {
+				row[j] = rng.Float64()*2 - 1
+			}
+			prob.A = append(prob.A, row)
+			prob.B = append(prob.B, rng.Float64()*2-0.5)
+		}
+		// Add an equality pair sum(x) == 1.
+		one := make([]float64, n)
+		neg := make([]float64, n)
+		for j := range one {
+			one[j] = 1
+			neg[j] = -1
+		}
+		prob.A = append(prob.A, one, neg)
+		prob.B = append(prob.B, 1, -1)
+		x, _, err := Solve(prob)
+		if err != nil {
+			continue // infeasible/unbounded is fine
+		}
+		for i, row := range prob.A {
+			lhs := 0.0
+			for j := range row {
+				lhs += row[j] * x[j]
+			}
+			if lhs > prob.B[i]+1e-5 {
+				t.Fatalf("trial %d: constraint %d violated: %.6f > %.6f (x=%v)", trial, i, lhs, prob.B[i], x)
+			}
+		}
+		for j, v := range x {
+			if v < -1e-7 {
+				t.Fatalf("trial %d: x[%d] = %v negative", trial, j, v)
+			}
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package netsim implements the simulation methodology of §6: receivers
+// join a packet carousel at random offsets, lose packets according to a
+// loss process (independent Bernoulli, bursty Gilbert-Elliott, or replayed
+// traces), and stop once their codec's decodability condition holds. The
+// measured quantity is the paper's reception efficiency
+//
+//	η = (# source data packets) / (# packets received prior to reconstruction)
+//
+// including duplicate receptions caused by carousel wrap-around — exactly
+// the inefficiency Figures 4-6 quantify.
+package netsim
+
+import (
+	"math/rand"
+
+	"repro/internal/stats"
+)
+
+// LossProcess decides the fate of successive transmissions to one
+// receiver. Implementations are stateful and not safe for concurrent use.
+type LossProcess interface {
+	// Lose reports whether the next packet is lost.
+	Lose() bool
+}
+
+// Bernoulli loses each packet independently with probability P.
+type Bernoulli struct {
+	P   float64
+	Rng *rand.Rand
+}
+
+// Lose implements LossProcess.
+func (b *Bernoulli) Lose() bool { return b.Rng.Float64() < b.P }
+
+// GilbertElliott is the classic two-state bursty loss model: in the good
+// state packets are lost with probability LossGood, in the bad state with
+// LossBad; the chain moves good→bad with PGB and bad→good with PBG per
+// packet. Mean loss = (PGB·LossBad + PBG·LossGood)/(PGB+PBG).
+type GilbertElliott struct {
+	PGB, PBG          float64
+	LossGood, LossBad float64
+	Rng               *rand.Rand
+	bad               bool
+}
+
+// Lose implements LossProcess.
+func (g *GilbertElliott) Lose() bool {
+	if g.bad {
+		if g.Rng.Float64() < g.PBG {
+			g.bad = false
+		}
+	} else {
+		if g.Rng.Float64() < g.PGB {
+			g.bad = true
+		}
+	}
+	p := g.LossGood
+	if g.bad {
+		p = g.LossBad
+	}
+	return g.Rng.Float64() < p
+}
+
+// MeanLoss returns the stationary loss rate of the model.
+func (g *GilbertElliott) MeanLoss() float64 {
+	if g.PGB+g.PBG == 0 {
+		return g.LossGood
+	}
+	pBad := g.PGB / (g.PGB + g.PBG)
+	return pBad*g.LossBad + (1-pBad)*g.LossGood
+}
+
+// Decodability is the stopping condition of a receiver: it observes each
+// distinct-first reception and reports when the source is recoverable.
+// Implementations are per-receiver state machines.
+type Decodability interface {
+	// Need returns an upper bound hint (total encoding size n).
+	N() int
+	// Receive records reception of encoding packet i (first time only —
+	// the simulator filters duplicates) and reports whether the receiver
+	// can now reconstruct the source.
+	Receive(i int) bool
+}
+
+// ThresholdDecoder models an ideal (k of n) or overhead-sampled (Tornado)
+// code: done when the number of distinct packets reaches Need.
+type ThresholdDecoder struct {
+	NTotal int
+	Need   int
+	got    int
+}
+
+// N implements Decodability.
+func (t *ThresholdDecoder) N() int { return t.NTotal }
+
+// Receive implements Decodability.
+func (t *ThresholdDecoder) Receive(int) bool {
+	t.got++
+	return t.got >= t.Need
+}
+
+// BlockDecoder models the interleaved code of §6: block b of B needs
+// blockK distinct packets; packet i belongs to block i % B (carousel
+// interleaving order).
+type BlockDecoder struct {
+	NTotal  int
+	Blocks  int
+	BlockK  int
+	fill    []int
+	pending int
+}
+
+// NewBlockDecoder constructs a BlockDecoder for B blocks of blockK source
+// packets each, with total encoding size n.
+func NewBlockDecoder(n, blocks, blockK int) *BlockDecoder {
+	return &BlockDecoder{NTotal: n, Blocks: blocks, BlockK: blockK, fill: make([]int, blocks), pending: blocks}
+}
+
+// N implements Decodability.
+func (b *BlockDecoder) N() int { return b.NTotal }
+
+// Receive implements Decodability.
+func (b *BlockDecoder) Receive(i int) bool {
+	blk := i % b.Blocks
+	b.fill[blk]++
+	if b.fill[blk] == b.BlockK {
+		b.pending--
+	}
+	return b.pending == 0
+}
+
+// Reception is the outcome of one receiver's download.
+type Reception struct {
+	Received int // total packets received (including duplicates)
+	Distinct int // distinct packets received
+	Done     bool
+}
+
+// Efficiency returns η = k / Received.
+func (r Reception) Efficiency(k int) float64 {
+	if r.Received == 0 {
+		return 0
+	}
+	return float64(k) / float64(r.Received)
+}
+
+// DistinctEfficiency returns ηd = Distinct / Received.
+func (r Reception) DistinctEfficiency() float64 {
+	if r.Received == 0 {
+		return 0
+	}
+	return float64(r.Distinct) / float64(r.Received)
+}
+
+// Carousel simulates one receiver downloading from a cycling carousel of n
+// packets: the receiver joins at a random offset, every transmission is
+// subjected to the loss process, and reception stops when dec reports
+// decodability (or after maxTx transmissions, Done=false).
+//
+// order may be nil (sequential carousel 0..n-1) or a permutation of [0,n)
+// (the randomized carousel of §7.1).
+func Carousel(dec Decodability, loss LossProcess, order []int, rng *rand.Rand, maxTx int) Reception {
+	n := dec.N()
+	if maxTx <= 0 {
+		maxTx = 1000 * n
+	}
+	pos := rng.Intn(n)
+	seen := make([]bool, n)
+	var r Reception
+	for tx := 0; tx < maxTx; tx++ {
+		idx := pos
+		if order != nil {
+			idx = order[pos]
+		}
+		pos++
+		if pos == n {
+			pos = 0
+		}
+		if loss.Lose() {
+			continue
+		}
+		r.Received++
+		if !seen[idx] {
+			seen[idx] = true
+			r.Distinct++
+			if dec.Receive(idx) {
+				r.Done = true
+				return r
+			}
+		}
+	}
+	return r
+}
+
+// Population simulates `receivers` i.i.d. receivers and returns their
+// reception efficiencies. mkDec and mkLoss build fresh per-receiver state.
+func Population(receivers int, k int, mkDec func() Decodability, mkLoss func(rng *rand.Rand) LossProcess, order []int, seed int64) []float64 {
+	out := make([]float64, receivers)
+	rng := rand.New(rand.NewSource(seed))
+	for i := range out {
+		r := Carousel(mkDec(), mkLoss(rng), order, rng, 0)
+		out[i] = r.Efficiency(k)
+	}
+	return out
+}
+
+// WorstOfR estimates the expected worst-case (minimum) efficiency among R
+// simultaneous receivers from a sample of i.i.d. receiver efficiencies,
+// using exact order statistics on the empirical distribution — the
+// average-of-experiments estimator of Figure 4 converges to the same
+// quantity.
+func WorstOfR(sample []float64, r int) float64 {
+	return stats.NewCDF(sample).MeanMinOfR(r)
+}
+
+// Varying alternates between two loss processes on a fixed period,
+// modelling the time-varying congestion of real paths (it is what makes
+// layered receivers oscillate between subscription levels and therefore
+// accumulate duplicate packets — the ηd degradation of Figure 8's 4-layer
+// runs).
+type Varying struct {
+	Calm, Congested LossProcess
+	Period          int // packets per phase
+	n               int
+	congested       bool
+}
+
+// Lose implements LossProcess.
+func (v *Varying) Lose() bool {
+	if v.Period > 0 {
+		v.n++
+		if v.n >= v.Period {
+			v.n = 0
+			v.congested = !v.congested
+		}
+	}
+	if v.congested {
+		return v.Congested.Lose()
+	}
+	return v.Calm.Lose()
+}

@@ -1,0 +1,205 @@
+package netsim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func TestBernoulliRate(t *testing.T) {
+	b := &Bernoulli{P: 0.3, Rng: rand.New(rand.NewSource(1))}
+	lost := 0
+	for i := 0; i < 100000; i++ {
+		if b.Lose() {
+			lost++
+		}
+	}
+	if rate := float64(lost) / 100000; math.Abs(rate-0.3) > 0.01 {
+		t.Fatalf("loss rate %v, want 0.3", rate)
+	}
+}
+
+func TestGilbertElliottMeanAndBursts(t *testing.T) {
+	g := &GilbertElliott{PGB: 0.01, PBG: 0.1, LossGood: 0.01, LossBad: 0.5, Rng: rand.New(rand.NewSource(2))}
+	want := g.MeanLoss()
+	lost := 0
+	runs := 0
+	prevLost := false
+	burstLens := 0
+	n := 300000
+	for i := 0; i < n; i++ {
+		l := g.Lose()
+		if l {
+			lost++
+			if !prevLost {
+				runs++
+			}
+			burstLens++
+		}
+		prevLost = l
+	}
+	rate := float64(lost) / float64(n)
+	if math.Abs(rate-want) > 0.01 {
+		t.Fatalf("mean loss %v, want %v", rate, want)
+	}
+	// Bursty: average run length must exceed the Bernoulli expectation
+	// 1/(1-p) for the same rate.
+	avgRun := float64(burstLens) / float64(runs)
+	bern := 1 / (1 - rate)
+	if avgRun < bern*1.2 {
+		t.Fatalf("avg burst %v not bursty vs bernoulli %v", avgRun, bern)
+	}
+}
+
+func TestThresholdDecoder(t *testing.T) {
+	d := &ThresholdDecoder{NTotal: 10, Need: 3}
+	if d.N() != 10 {
+		t.Fatal("N wrong")
+	}
+	if d.Receive(0) || d.Receive(5) {
+		t.Fatal("done too early")
+	}
+	if !d.Receive(9) {
+		t.Fatal("not done at threshold")
+	}
+}
+
+func TestBlockDecoder(t *testing.T) {
+	// 2 blocks of k=2, n=8. Packets i%2 = block.
+	d := NewBlockDecoder(8, 2, 2)
+	if d.Receive(0) {
+		t.Fatal("early")
+	}
+	if d.Receive(2) {
+		t.Fatal("block 0 full but block 1 empty")
+	}
+	d.Receive(1)
+	if !d.Receive(3) {
+		t.Fatal("both blocks full, not done")
+	}
+}
+
+func TestCarouselLosslessExactlyK(t *testing.T) {
+	// With no loss, an ideal k-of-n receiver needs exactly k receptions.
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		dec := &ThresholdDecoder{NTotal: 100, Need: 50}
+		r := Carousel(dec, &Bernoulli{P: 0, Rng: rng}, nil, rng, 0)
+		if !r.Done || r.Received != 50 || r.Distinct != 50 {
+			t.Fatalf("lossless reception: %+v", r)
+		}
+	}
+}
+
+func TestCarouselHighLossWrapsAndDuplicates(t *testing.T) {
+	// At 50% loss with threshold k = n/2, the receiver must wrap and see
+	// duplicates, so distinct efficiency < 1.
+	rng := rand.New(rand.NewSource(4))
+	dups := 0
+	for trial := 0; trial < 50; trial++ {
+		dec := &ThresholdDecoder{NTotal: 200, Need: 100}
+		r := Carousel(dec, &Bernoulli{P: 0.5, Rng: rng}, nil, rng, 0)
+		if !r.Done {
+			t.Fatalf("not done: %+v", r)
+		}
+		if r.Distinct != 100 {
+			t.Fatalf("distinct = %d, want 100", r.Distinct)
+		}
+		if r.Received > r.Distinct {
+			dups++
+		}
+	}
+	if dups == 0 {
+		t.Fatal("no run saw duplicates at 50% loss")
+	}
+}
+
+func TestCarouselRandomOrderCoversAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	order := rng.Perm(64)
+	dec := &ThresholdDecoder{NTotal: 64, Need: 64}
+	r := Carousel(dec, &Bernoulli{P: 0, Rng: rng}, order, rng, 0)
+	if !r.Done || r.Distinct != 64 || r.Received != 64 {
+		t.Fatalf("randomized carousel: %+v", r)
+	}
+}
+
+func TestCarouselMaxTx(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	dec := &ThresholdDecoder{NTotal: 10, Need: 10}
+	r := Carousel(dec, &Bernoulli{P: 1.0, Rng: rng}, nil, rng, 100)
+	if r.Done || r.Received != 0 {
+		t.Fatalf("full loss must never finish: %+v", r)
+	}
+}
+
+func TestInterleavedWorseThanIdealAtHighLoss(t *testing.T) {
+	// The coupon-collector effect: at p=0.5, interleaved k=20 over a 1MB
+	// file must have noticeably lower efficiency than an ideal code.
+	k := 1024
+	n := 2 * k
+	blocks := k / 20
+	ideal := Population(200, k, func() Decodability {
+		return &ThresholdDecoder{NTotal: n, Need: k}
+	}, func(rng *rand.Rand) LossProcess {
+		return &Bernoulli{P: 0.5, Rng: rng}
+	}, nil, 7)
+	inter := Population(200, k, func() Decodability {
+		return NewBlockDecoder(n, blocks, 20)
+	}, func(rng *rand.Rand) LossProcess {
+		return &Bernoulli{P: 0.5, Rng: rng}
+	}, nil, 7)
+	si, sn := stats.Summarize(ideal), stats.Summarize(inter)
+	if sn.Mean >= si.Mean-0.1 {
+		t.Fatalf("interleaved %v not clearly worse than ideal %v", sn.Mean, si.Mean)
+	}
+	if si.Mean < 0.85 {
+		t.Fatalf("ideal efficiency %v unexpectedly low", si.Mean)
+	}
+}
+
+func TestWorstOfRDecreases(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	sample := make([]float64, 2000)
+	for i := range sample {
+		sample[i] = 0.8 + 0.2*rng.Float64()
+	}
+	prev := math.Inf(1)
+	for _, r := range []int{1, 10, 100, 1000} {
+		w := WorstOfR(sample, r)
+		if w > prev+1e-9 {
+			t.Fatalf("worst-of-%d = %v not decreasing (prev %v)", r, w, prev)
+		}
+		prev = w
+	}
+	if WorstOfR(sample, 1000) < 0.8-1e-9 {
+		t.Fatal("worst below support")
+	}
+}
+
+func TestVaryingAlternates(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	v := &Varying{
+		Calm:      &Bernoulli{P: 0, Rng: rng},
+		Congested: &Bernoulli{P: 1, Rng: rng},
+		Period:    10,
+	}
+	lost := 0
+	for i := 0; i < 1000; i++ {
+		if v.Lose() {
+			lost++
+		}
+	}
+	if lost < 400 || lost > 600 {
+		t.Fatalf("varying loss = %d/1000, want ~500", lost)
+	}
+	// First phase must be calm.
+	v2 := &Varying{Calm: &Bernoulli{P: 0, Rng: rng}, Congested: &Bernoulli{P: 1, Rng: rng}, Period: 5}
+	for i := 0; i < 4; i++ {
+		if v2.Lose() {
+			t.Fatal("lost during initial calm phase")
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package proto defines the wire format of the prototype distribution
+// system (§7.3): the 12-byte data-packet header ("the packets were
+// additionally tagged with 12 bytes of information (packet index, serial
+// number and group number)"), and the unicast control messages the server
+// uses to hand clients the session parameters (multicast group information,
+// file length, code configuration).
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// HeaderLen is the size of the data packet header: 12 bytes, as in the
+// paper's prototype.
+const HeaderLen = 12
+
+// Flags carried in the packet header.
+const (
+	// FlagSP marks a synchronization point: receivers may move to a
+	// higher subscription level only immediately after an SP (§7.1.1).
+	FlagSP uint8 = 1 << iota
+	// FlagBurst marks packets sent during a sender burst period, during
+	// which each layer temporarily doubles its rate so receivers can
+	// probe for spare capacity without explicit join experiments.
+	FlagBurst
+)
+
+// Header is the per-packet header of the data stream.
+type Header struct {
+	Index   uint32 // encoding packet index within the session's code
+	Serial  uint32 // per-layer monotonically increasing serial number (for loss measurement)
+	Group   uint8  // layer / multicast group number
+	Flags   uint8  // FlagSP | FlagBurst
+	Session uint16 // session identifier, so stray packets are rejected
+}
+
+// ErrShortPacket is returned when a buffer cannot hold a header.
+var ErrShortPacket = errors.New("proto: packet shorter than header")
+
+// Marshal appends the 12-byte header encoding to dst and returns the
+// extended slice.
+func (h Header) Marshal(dst []byte) []byte {
+	var b [HeaderLen]byte
+	binary.BigEndian.PutUint32(b[0:4], h.Index)
+	binary.BigEndian.PutUint32(b[4:8], h.Serial)
+	b[8] = h.Group
+	b[9] = h.Flags
+	binary.BigEndian.PutUint16(b[10:12], h.Session)
+	return append(dst, b[:]...)
+}
+
+// ParseHeader decodes a header from the front of pkt and returns the
+// payload that follows it.
+func ParseHeader(pkt []byte) (Header, []byte, error) {
+	if len(pkt) < HeaderLen {
+		return Header{}, nil, ErrShortPacket
+	}
+	h := Header{
+		Index:   binary.BigEndian.Uint32(pkt[0:4]),
+		Serial:  binary.BigEndian.Uint32(pkt[4:8]),
+		Group:   pkt[8],
+		Flags:   pkt[9],
+		Session: binary.BigEndian.Uint16(pkt[10:12]),
+	}
+	return h, pkt[HeaderLen:], nil
+}
+
+// SessionInfo is the control answer a server returns to a client: every
+// parameter needed to subscribe and decode. The graph seed plays the role
+// of the "graph structure agreed upon in advance" (§5.1).
+type SessionInfo struct {
+	Session    uint16
+	Codec      uint8  // CodecTornadoA, ...
+	Layers     uint8  // number of multicast groups g
+	K          uint32 // source packets
+	N          uint32 // encoding packets
+	PacketLen  uint32 // payload length (excluding header)
+	FileLen    uint64 // original file length in bytes
+	Seed       int64  // graph seed
+	BaseRate   uint32 // base-layer rate, packets/second
+	SPInterval uint32 // rounds between synchronization points on the base layer
+	FileHash   uint64 // FNV-64a of the file, for end-to-end verification
+	// InterleaveK is the per-block source packet count when Codec is
+	// CodecInterleaved (0 otherwise).
+	InterleaveK uint32
+}
+
+// Codec identifiers carried in SessionInfo.
+const (
+	CodecTornadoA uint8 = iota
+	CodecTornadoB
+	CodecVandermonde
+	CodecCauchy
+	CodecInterleaved
+)
+
+// Control message types.
+const (
+	msgHello    uint8 = 1
+	msgSession  uint8 = 2
+	controlMag0       = 0xDF // "digital fountain"
+	controlMag1       = 0x98 // 1998
+)
+
+const sessionInfoLen = 2 + 2 + 1 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 8 + 4 // magic+type .. interleaveK
+
+// MarshalHello encodes a client hello probe.
+func MarshalHello() []byte {
+	return []byte{controlMag0, controlMag1, msgHello}
+}
+
+// IsHello reports whether buf is a client hello.
+func IsHello(buf []byte) bool {
+	return len(buf) >= 3 && buf[0] == controlMag0 && buf[1] == controlMag1 && buf[2] == msgHello
+}
+
+// Marshal encodes the session info control message.
+func (s SessionInfo) Marshal() []byte {
+	b := make([]byte, 0, sessionInfoLen)
+	b = append(b, controlMag0, controlMag1, msgSession)
+	var tmp [8]byte
+	binary.BigEndian.PutUint16(tmp[:2], s.Session)
+	b = append(b, tmp[:2]...)
+	b = append(b, s.Codec, s.Layers)
+	binary.BigEndian.PutUint32(tmp[:4], s.K)
+	b = append(b, tmp[:4]...)
+	binary.BigEndian.PutUint32(tmp[:4], s.N)
+	b = append(b, tmp[:4]...)
+	binary.BigEndian.PutUint32(tmp[:4], s.PacketLen)
+	b = append(b, tmp[:4]...)
+	binary.BigEndian.PutUint64(tmp[:8], s.FileLen)
+	b = append(b, tmp[:8]...)
+	binary.BigEndian.PutUint64(tmp[:8], uint64(s.Seed))
+	b = append(b, tmp[:8]...)
+	binary.BigEndian.PutUint32(tmp[:4], s.BaseRate)
+	b = append(b, tmp[:4]...)
+	binary.BigEndian.PutUint32(tmp[:4], s.SPInterval)
+	b = append(b, tmp[:4]...)
+	binary.BigEndian.PutUint64(tmp[:8], s.FileHash)
+	b = append(b, tmp[:8]...)
+	binary.BigEndian.PutUint32(tmp[:4], s.InterleaveK)
+	b = append(b, tmp[:4]...)
+	return b
+}
+
+// ParseSessionInfo decodes a session info message.
+func ParseSessionInfo(buf []byte) (SessionInfo, error) {
+	if len(buf) < sessionInfoLen {
+		return SessionInfo{}, fmt.Errorf("proto: session info too short (%d bytes)", len(buf))
+	}
+	if buf[0] != controlMag0 || buf[1] != controlMag1 || buf[2] != msgSession {
+		return SessionInfo{}, errors.New("proto: not a session info message")
+	}
+	s := SessionInfo{
+		Session:    binary.BigEndian.Uint16(buf[3:5]),
+		Codec:      buf[5],
+		Layers:     buf[6],
+		K:          binary.BigEndian.Uint32(buf[7:11]),
+		N:          binary.BigEndian.Uint32(buf[11:15]),
+		PacketLen:  binary.BigEndian.Uint32(buf[15:19]),
+		FileLen:    binary.BigEndian.Uint64(buf[19:27]),
+		Seed:       int64(binary.BigEndian.Uint64(buf[27:35])),
+		BaseRate:   binary.BigEndian.Uint32(buf[35:39]),
+		SPInterval: binary.BigEndian.Uint32(buf[39:43]),
+		FileHash:   binary.BigEndian.Uint64(buf[43:51]),
+	}
+	s.InterleaveK = binary.BigEndian.Uint32(buf[51:55])
+	return s, nil
+}
+
+// FNV64a computes the FNV-64a hash of data (used for end-to-end file
+// verification in the prototype and its tests).
+func FNV64a(data []byte) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= prime
+	}
+	return h
+}

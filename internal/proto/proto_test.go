@@ -1,0 +1,98 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTrip(t *testing.T) {
+	err := quick.Check(func(index, serial uint32, group, flags uint8, session uint16) bool {
+		h := Header{Index: index, Serial: serial, Group: group, Flags: flags, Session: session}
+		buf := h.Marshal(nil)
+		if len(buf) != HeaderLen {
+			return false
+		}
+		got, payload, err := ParseHeader(append(buf, 0xAB, 0xCD))
+		if err != nil {
+			return false
+		}
+		return got == h && bytes.Equal(payload, []byte{0xAB, 0xCD})
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHeaderLenIs12(t *testing.T) {
+	// The paper tags packets with exactly 12 bytes (§7.3).
+	if HeaderLen != 12 {
+		t.Fatalf("HeaderLen = %d, want 12", HeaderLen)
+	}
+	if got := len(Header{}.Marshal(nil)); got != 12 {
+		t.Fatalf("marshalled header is %d bytes, want 12", got)
+	}
+}
+
+func TestParseHeaderShort(t *testing.T) {
+	if _, _, err := ParseHeader(make([]byte, 11)); err != ErrShortPacket {
+		t.Fatalf("err = %v, want ErrShortPacket", err)
+	}
+}
+
+func TestHeaderMarshalAppends(t *testing.T) {
+	prefix := []byte{1, 2, 3}
+	out := (Header{Index: 7}).Marshal(prefix)
+	if len(out) != 3+HeaderLen || !bytes.Equal(out[:3], prefix) {
+		t.Fatal("Marshal does not append")
+	}
+}
+
+func TestSessionInfoRoundTrip(t *testing.T) {
+	err := quick.Check(func(session uint16, codec, layers uint8, k, n, pl, rate, spi uint32, fl, hash uint64, seed int64) bool {
+		s := SessionInfo{
+			Session: session, Codec: codec % 5, Layers: layers,
+			K: k, N: n, PacketLen: pl, FileLen: fl, Seed: seed,
+			BaseRate: rate, SPInterval: spi, FileHash: hash,
+			InterleaveK: k % 97,
+		}
+		got, err := ParseSessionInfo(s.Marshal())
+		return err == nil && got == s
+	}, &quick.Config{MaxCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseSessionInfoErrors(t *testing.T) {
+	if _, err := ParseSessionInfo(make([]byte, 10)); err == nil {
+		t.Fatal("short buffer accepted")
+	}
+	good := SessionInfo{}.Marshal()
+	good[0] = 0x00
+	if _, err := ParseSessionInfo(good); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+}
+
+func TestHello(t *testing.T) {
+	if !IsHello(MarshalHello()) {
+		t.Fatal("hello does not parse")
+	}
+	if IsHello([]byte{1, 2}) || IsHello(SessionInfo{}.Marshal()) {
+		t.Fatal("false positive hello")
+	}
+}
+
+func TestFNV64a(t *testing.T) {
+	// Known FNV-64a test vectors.
+	if got := FNV64a(nil); got != 14695981039346656037 {
+		t.Fatalf("FNV64a(\"\") = %d", got)
+	}
+	if got := FNV64a([]byte("a")); got != 0xaf63dc4c8601ec8c {
+		t.Fatalf("FNV64a(\"a\") = %#x", got)
+	}
+	if FNV64a([]byte("abc")) == FNV64a([]byte("acb")) {
+		t.Fatal("order-insensitive hash")
+	}
+}

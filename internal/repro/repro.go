@@ -1,0 +1,216 @@
+// Package repro regenerates every table and figure of the paper's
+// evaluation (Tables 1-5, Figures 2, 4-8). Each experiment prints the same
+// rows or series the paper reports; EXPERIMENTS.md records paper-vs-measured
+// values. Experiments accept an Options scale so the full grid (minutes to
+// hours, like the original) and a quick CI-sized variant share one code
+// path.
+package repro
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/code"
+	"repro/internal/rs"
+	"repro/internal/stats"
+	"repro/internal/tornado"
+)
+
+// Options scales the experiments.
+type Options struct {
+	// Full selects the paper's complete parameter grid; otherwise a
+	// reduced grid keeps runtimes in seconds.
+	Full bool
+	// Seed makes every experiment deterministic.
+	Seed int64
+	// Trials overrides per-point trial counts (0 = experiment default).
+	Trials int
+}
+
+// DefaultOptions returns the quick profile.
+func DefaultOptions() Options { return Options{Seed: 1998} }
+
+const packetLen = 1024 // the paper's P = 1KB for all code benchmarks
+
+// sizesKB returns the file-size grid (in KB). The paper uses 250KB..16MB.
+func (o Options) sizesKB() []int {
+	if o.Full {
+		return []int{250, 500, 1024, 2048, 4096, 8192, 16384}
+	}
+	return []int{250, 500, 1024}
+}
+
+func (o Options) trials(def int) int {
+	if o.Trials > 0 {
+		return o.Trials
+	}
+	return def
+}
+
+// mkSource builds k deterministic pseudo-random packets.
+func mkSource(rng *rand.Rand, k, pl int) [][]byte {
+	buf := make([]byte, k*pl)
+	rng.Read(buf)
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = buf[i*pl : (i+1)*pl]
+	}
+	return out
+}
+
+// overheadSamples measures the reception-overhead distribution of a
+// Tornado codec with the real decoder: fraction of extra packets (beyond
+// k) needed when packets arrive in a uniformly random order.
+func overheadSamples(p tornado.Params, k, trials int, seed int64) ([]float64, error) {
+	c, err := tornado.New(p, k, 2*k, 16, seed)
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed + 1))
+	src := mkSource(rng, k, 16)
+	enc, err := c.Encode(src)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, trials)
+	for t := 0; t < trials; t++ {
+		d := c.NewDecoder()
+		used := 0
+		for _, i := range rng.Perm(c.N()) {
+			used++
+			if done, err := d.Add(i, enc[i]); err != nil {
+				return nil, err
+			} else if done {
+				break
+			}
+		}
+		out[t] = float64(used)/float64(k) - 1
+	}
+	return out, nil
+}
+
+// overheadCDF caches overhead distributions per (variant, k).
+var overheadCache = map[string]*stats.CDF{}
+
+func overheadCDF(p tornado.Params, k int, seed int64) (*stats.CDF, error) {
+	key := fmt.Sprintf("%s/%d", p.Variant, k)
+	if c, ok := overheadCache[key]; ok {
+		return c, nil
+	}
+	// Fewer trials at large k keep the decoder sampling tractable; the
+	// distributions are tight (see Figure 2), so modest samples suffice.
+	trials := 1 << 21 / k
+	if trials < 16 {
+		trials = 16
+	}
+	if trials > 120 {
+		trials = 120
+	}
+	samples, err := overheadSamples(p, k, trials, seed)
+	if err != nil {
+		return nil, err
+	}
+	c := stats.NewCDF(samples)
+	overheadCache[key] = c
+	return c, nil
+}
+
+// timeIt runs f once and returns the wall-clock duration.
+func timeIt(f func() error) (time.Duration, error) {
+	start := time.Now()
+	err := f()
+	return time.Since(start), err
+}
+
+// encodeTime measures one Encode call of a freshly built codec.
+func encodeTime(c code.Codec, src [][]byte) (time.Duration, error) {
+	return timeIt(func() error {
+		_, err := c.Encode(src)
+		return err
+	})
+}
+
+// rsDecodeTime measures the Table 3 protocol for an RS codec: k/2 source
+// packets and k/2 repair packets are received; the reconstruction of the
+// missing half is timed.
+func rsDecodeTime(c code.Codec, enc [][]byte, rng *rand.Rand) (time.Duration, error) {
+	k := c.K()
+	d := c.NewDecoder()
+	srcIdx := rng.Perm(k)[: k/2 : k/2]
+	repIdx := rng.Perm(c.N() - k)[: k-k/2 : k-k/2]
+	for _, i := range srcIdx {
+		if _, err := d.Add(i, enc[i]); err != nil {
+			return 0, err
+		}
+	}
+	for _, i := range repIdx {
+		if _, err := d.Add(k+i, enc[k+i]); err != nil {
+			return 0, err
+		}
+	}
+	if !d.Done() {
+		return 0, fmt.Errorf("repro: RS decoder not ready at k packets")
+	}
+	return timeIt(func() error {
+		_, err := d.Source()
+		return err
+	})
+}
+
+// tornadoDecodeTime measures a Tornado decode: packets stream in random
+// order and the full incremental decode (propagation + eliminations) is
+// timed until completion.
+func tornadoDecodeTime(c code.Codec, enc [][]byte, rng *rand.Rand) (time.Duration, error) {
+	d := c.NewDecoder()
+	order := rng.Perm(c.N())
+	var dur time.Duration
+	start := time.Now()
+	for _, i := range order {
+		done, err := d.Add(i, enc[i])
+		if err != nil {
+			return 0, err
+		}
+		if done {
+			break
+		}
+	}
+	dur = time.Since(start)
+	if !d.Done() {
+		return 0, fmt.Errorf("repro: tornado decode incomplete")
+	}
+	return dur, nil
+}
+
+func newTornadoA(k int, seed int64) (code.Codec, error) {
+	return tornado.New(tornado.A(), k, 2*k, packetLen, seed)
+}
+
+func newTornadoB(k int, seed int64) (code.Codec, error) {
+	return tornado.New(tornado.B(), k, 2*k, packetLen, seed)
+}
+
+func newCauchy(k int) (code.Codec, error) { return rs.NewCauchy(k, 2*k, packetLen) }
+
+func newVandermonde(k int) (code.Codec, error) { return rs.NewVandermonde(k, 2*k, packetLen) }
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d <= 0:
+		return "-"
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.3fms", float64(d.Microseconds())/1000)
+	case d < time.Second:
+		return fmt.Sprintf("%.0fms", float64(d.Milliseconds()))
+	default:
+		return fmt.Sprintf("%.2fs", d.Seconds())
+	}
+}
+
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}
+
+// tornadoParamsA is a test seam exposing the A parameter set.
+func tornadoParamsA() tornado.Params { return tornado.A() }

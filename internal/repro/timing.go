@@ -1,0 +1,186 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"repro/internal/code"
+)
+
+// vandermondeLimitKB bounds the Vandermonde grid: beyond this the paper
+// itself reports "not available" (their runs became intractable at 4MB;
+// the O(k^2) setup plus O(k^3) decode do the same to us at larger k).
+const vandermondeLimitKB = 2048
+
+// Table1 prints the qualitative property comparison of Tornado vs
+// Reed-Solomon codes, with measured evidence for the scaling claims.
+func Table1(w io.Writer, o Options) error {
+	fprintf(w, "Table 1: Properties of Tornado vs Reed-Solomon codes\n")
+	fprintf(w, "%-22s %-28s %-28s\n", "", "Tornado", "Reed-Solomon")
+	fprintf(w, "%-22s %-28s %-28s\n", "Reception overhead", "> 0 required (measured below)", "0")
+	fprintf(w, "%-22s %-28s %-28s\n", "Encoding time", "(k+l)·ln(1/eps)·P", "k·(1+l)·P")
+	fprintf(w, "%-22s %-28s %-28s\n", "Decoding time", "(k+l)·ln(1/eps)·P", "k·(1+x)·P")
+	fprintf(w, "%-22s %-28s %-28s\n", "Basic operation", "simple XOR", "field operations")
+	fprintf(w, "\nMeasured scaling (encode time ratio when k doubles; linear=2x, quadratic=4x):\n")
+	rng := rand.New(rand.NewSource(o.Seed))
+	var prevT, prevC time.Duration
+	for _, kb := range []int{250, 500, 1000} {
+		k := kb
+		src := mkSource(rng, k, packetLen)
+		ct, err := newCauchy(k)
+		if err != nil {
+			return err
+		}
+		tt, err := newTornadoA(k, o.Seed)
+		if err != nil {
+			return err
+		}
+		cDur, err := encodeTime(ct, src)
+		if err != nil {
+			return err
+		}
+		tDur, err := encodeTime(tt, src)
+		if err != nil {
+			return err
+		}
+		line := fmt.Sprintf("  k=%-6d tornado-a=%-10s cauchy=%-10s", k, fmtDur(tDur), fmtDur(cDur))
+		if prevT > 0 {
+			line += fmt.Sprintf("  growth: tornado %.1fx, cauchy %.1fx", float64(tDur)/float64(prevT), float64(cDur)/float64(prevC))
+		}
+		fprintf(w, "%s\n", line)
+		prevT, prevC = tDur, cDur
+	}
+	return nil
+}
+
+// Table2 regenerates the encoding-time comparison: file sizes 250KB-16MB,
+// P = 1KB, stretch factor 2, for Vandermonde, Cauchy, Tornado A and
+// Tornado B.
+func Table2(w io.Writer, o Options) error {
+	fprintf(w, "Table 2: Encoding times (P=1KB, n=2k)\n")
+	fprintf(w, "%-10s %-14s %-14s %-14s %-14s\n", "SIZE", "Vandermonde", "Cauchy", "Tornado A", "Tornado B")
+	rng := rand.New(rand.NewSource(o.Seed))
+	for _, kb := range o.sizesKB() {
+		k := kb // kb KB / 1KB packets
+		src := mkSource(rng, k, packetLen)
+		row := fmt.Sprintf("%-10s", sizeName(kb))
+		// Vandermonde
+		if kb <= vandermondeLimitKB {
+			c, err := newVandermonde(k)
+			if err != nil {
+				return err
+			}
+			d, err := encodeTime(c, src)
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf(" %-14s", fmtDur(d))
+		} else {
+			row += fmt.Sprintf(" %-14s", "not available")
+		}
+		// Cauchy
+		{
+			c, err := newCauchy(k)
+			if err != nil {
+				return err
+			}
+			d, err := encodeTime(c, src)
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf(" %-14s", fmtDur(d))
+		}
+		// Tornado A and B
+		ca, err := newTornadoA(k, o.Seed)
+		if err != nil {
+			return err
+		}
+		da, err := encodeTime(ca, src)
+		if err != nil {
+			return err
+		}
+		cb, err := newTornadoB(k, o.Seed)
+		if err != nil {
+			return err
+		}
+		db, err := encodeTime(cb, src)
+		if err != nil {
+			return err
+		}
+		row += fmt.Sprintf(" %-14s %-14s", fmtDur(da), fmtDur(db))
+		fprintf(w, "%s\n", row)
+	}
+	return nil
+}
+
+// Table3 regenerates the decoding-time comparison. RS codes decode from
+// k/2 source + k/2 repair packets (the carousel expectation at stretch 2);
+// Tornado decodes from a random packet stream until complete.
+func Table3(w io.Writer, o Options) error {
+	fprintf(w, "Table 3: Decoding times (P=1KB, n=2k; RS from k/2 source + k/2 repair)\n")
+	fprintf(w, "%-10s %-14s %-14s %-14s %-14s\n", "SIZE", "Vandermonde", "Cauchy", "Tornado A", "Tornado B")
+	rng := rand.New(rand.NewSource(o.Seed + 3))
+	for _, kb := range o.sizesKB() {
+		k := kb
+		src := mkSource(rng, k, packetLen)
+		row := fmt.Sprintf("%-10s", sizeName(kb))
+		if kb <= vandermondeLimitKB {
+			c, err := newVandermonde(k)
+			if err != nil {
+				return err
+			}
+			enc, err := c.Encode(src)
+			if err != nil {
+				return err
+			}
+			d, err := rsDecodeTime(c, enc, rng)
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf(" %-14s", fmtDur(d))
+		} else {
+			row += fmt.Sprintf(" %-14s", "not available")
+		}
+		{
+			c, err := newCauchy(k)
+			if err != nil {
+				return err
+			}
+			enc, err := c.Encode(src)
+			if err != nil {
+				return err
+			}
+			d, err := rsDecodeTime(c, enc, rng)
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf(" %-14s", fmtDur(d))
+		}
+		for _, mk := range []func(int, int64) (code.Codec, error){newTornadoA, newTornadoB} {
+			c, err := mk(k, o.Seed)
+			if err != nil {
+				return err
+			}
+			enc, err := c.Encode(src)
+			if err != nil {
+				return err
+			}
+			d, err := tornadoDecodeTime(c, enc, rng)
+			if err != nil {
+				return err
+			}
+			row += fmt.Sprintf(" %-14s", fmtDur(d))
+		}
+		fprintf(w, "%s\n", row)
+	}
+	return nil
+}
+
+func sizeName(kb int) string {
+	if kb < 1024 {
+		return fmt.Sprintf("%d KB", kb)
+	}
+	return fmt.Sprintf("%d MB", kb/1024)
+}

@@ -1,0 +1,204 @@
+package rs
+
+import (
+	"fmt"
+
+	"repro/internal/code"
+	"repro/internal/gf"
+	"repro/internal/gfmat"
+)
+
+// Cauchy is a systematic Cauchy Reed-Solomon erasure code (Blömer et al.,
+// "An XOR-Based Erasure-Resilient Coding Scheme"). The generator's repair
+// part is the Cauchy matrix C[i][j] = 1/((k+i) ^ j) over GF(2^16); each
+// field coefficient is expanded into a 16x16 bit matrix so that all packet
+// arithmetic is XOR of 1/16-packet sub-blocks.
+type Cauchy struct {
+	k, n      int
+	packetLen int
+	w         int // symbol width in bits (16)
+	sub       int // sub-block length in bytes (packetLen / w)
+	f         *gf.Field
+}
+
+// NewCauchy constructs the codec. packetLen must be a multiple of 16
+// (the symbol width) and n must not exceed 65536.
+func NewCauchy(k, n, packetLen int) (*Cauchy, error) {
+	f := gf.New16()
+	w := int(f.Width())
+	switch {
+	case k <= 0 || n <= k:
+		return nil, fmt.Errorf("rs: invalid k=%d n=%d", k, n)
+	case n > f.Size():
+		return nil, fmt.Errorf("rs: n=%d exceeds GF(2^16) size", n)
+	case packetLen <= 0 || packetLen%w != 0:
+		return nil, fmt.Errorf("rs: packetLen %d must be a positive multiple of %d", packetLen, w)
+	}
+	return &Cauchy{k: k, n: n, packetLen: packetLen, w: w, sub: packetLen / w, f: f}, nil
+}
+
+// Name implements code.Codec.
+func (c *Cauchy) Name() string { return "rs-cauchy" }
+
+// K implements code.Codec.
+func (c *Cauchy) K() int { return c.k }
+
+// N implements code.Codec.
+func (c *Cauchy) N() int { return c.n }
+
+// PacketLen implements code.Codec.
+func (c *Cauchy) PacketLen() int { return c.packetLen }
+
+// coeff returns the Cauchy coefficient tying repair row r to source
+// column j.
+func (c *Cauchy) coeff(r, j int) uint32 {
+	return c.f.Inv(uint32(c.k+r) ^ uint32(j))
+}
+
+// apply computes dst ^= e (x) src, where (x) is the bit-matrix expansion of
+// multiplication by the field element e acting on w sub-blocks: output
+// sub-block i accumulates input sub-block j whenever bit i of e·2^j is set.
+// The column images e·2^j are computed inline so the hot path allocates
+// nothing.
+func (c *Cauchy) apply(e uint32, dst, src []byte) {
+	if e == 0 {
+		return
+	}
+	if e == 1 {
+		gf.XORSlice(dst, src)
+		return
+	}
+	var cols [16]uint32
+	for j := 0; j < c.w; j++ {
+		cols[j] = c.f.Mul(e, 1<<uint(j))
+	}
+	for i := 0; i < c.w; i++ {
+		di := dst[i*c.sub : (i+1)*c.sub]
+		bit := uint32(1) << uint(i)
+		for j := 0; j < c.w; j++ {
+			if cols[j]&bit != 0 {
+				gf.XORSlice(di, src[j*c.sub:(j+1)*c.sub])
+			}
+		}
+	}
+}
+
+// Encode implements code.Codec.
+func (c *Cauchy) Encode(src [][]byte) ([][]byte, error) {
+	if err := code.CheckSrc(src, c.k, c.packetLen); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, c.n)
+	copy(out, src)
+	for r := 0; r < c.n-c.k; r++ {
+		p := make([]byte, c.packetLen)
+		for j := 0; j < c.k; j++ {
+			c.apply(c.coeff(r, j), p, src[j])
+		}
+		out[c.k+r] = p
+	}
+	return out, nil
+}
+
+// NewDecoder implements code.Codec.
+func (c *Cauchy) NewDecoder() code.Decoder {
+	return &cauchyDecoder{c: c, have: make(map[int][]byte, c.k)}
+}
+
+type cauchyDecoder struct {
+	c    *Cauchy
+	have map[int][]byte
+	src  [][]byte
+}
+
+func (d *cauchyDecoder) Add(i int, data []byte) (bool, error) {
+	if err := code.CheckPacket(i, data, d.c.n, d.c.packetLen); err != nil {
+		return d.Done(), err
+	}
+	if d.Done() {
+		return true, nil
+	}
+	if _, dup := d.have[i]; dup {
+		return false, nil
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	d.have[i] = buf
+	return d.Done(), nil
+}
+
+func (d *cauchyDecoder) Done() bool { return len(d.have) >= d.c.k }
+
+func (d *cauchyDecoder) Received() int { return len(d.have) }
+
+// Source implements code.Decoder. Missing source packets are recovered by
+// (1) adjusting one received repair equation per missing packet by the
+// known source packets (XOR bit-matrix applies), (2) inverting the
+// missing-column/used-repair Cauchy submatrix with the closed-form O(x^2)
+// inverse, and (3) applying the inverse to the adjusted values.
+func (d *cauchyDecoder) Source() ([][]byte, error) {
+	if d.src != nil {
+		return d.src, nil
+	}
+	if !d.Done() {
+		return nil, code.ErrNotReady
+	}
+	c := d.c
+	src := make([][]byte, c.k)
+	missing := make([]int, 0)
+	for j := 0; j < c.k; j++ {
+		if p, ok := d.have[j]; ok {
+			src[j] = p
+		} else {
+			missing = append(missing, j)
+		}
+	}
+	if len(missing) == 0 {
+		d.src = src
+		return src, nil
+	}
+	// Pick one received repair row per missing packet.
+	repairs := make([]int, 0, len(missing))
+	for i := c.k; i < c.n && len(repairs) < len(missing); i++ {
+		if _, ok := d.have[i]; ok {
+			repairs = append(repairs, i-c.k)
+		}
+	}
+	if len(repairs) < len(missing) {
+		return nil, code.ErrNotReady
+	}
+	// Adjusted right-hand sides: b_r = repair_r ^ sum_{known j} C[r][j] (x) src_j.
+	b := make([][]byte, len(repairs))
+	for bi, r := range repairs {
+		buf := make([]byte, c.packetLen)
+		copy(buf, d.have[c.k+r])
+		for j := 0; j < c.k; j++ {
+			if src[j] != nil {
+				c.apply(c.coeff(r, j), buf, src[j])
+			}
+		}
+		b[bi] = buf
+	}
+	// Invert the Cauchy submatrix with points x = k + repairs, y = missing.
+	x := make([]uint32, len(repairs))
+	y := make([]uint32, len(missing))
+	for i, r := range repairs {
+		x[i] = uint32(c.k + r)
+	}
+	for i, j := range missing {
+		y[i] = uint32(j)
+	}
+	inv, err := gfmat.CauchyInverse(c.f, x, y)
+	if err != nil {
+		return nil, fmt.Errorf("rs: cauchy inverse: %w", err)
+	}
+	for mi, j := range missing {
+		p := make([]byte, c.packetLen)
+		for bi := range repairs {
+			c.apply(inv.At(mi, bi), p, b[bi])
+		}
+		src[j] = p
+	}
+	d.src = src
+	return src, nil
+}

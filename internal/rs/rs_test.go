@@ -1,0 +1,269 @@
+package rs
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/code"
+)
+
+// Both codecs must satisfy code.Codec.
+var (
+	_ code.Codec = (*Vandermonde)(nil)
+	_ code.Codec = (*Cauchy)(nil)
+)
+
+func randSource(rng *rand.Rand, k, packetLen int) [][]byte {
+	src := make([][]byte, k)
+	for i := range src {
+		src[i] = make([]byte, packetLen)
+		rng.Read(src[i])
+	}
+	return src
+}
+
+// decodeFrom feeds the decoder the packets whose indices are in recv
+// and returns the recovered source.
+func decodeFrom(t *testing.T, c code.Codec, enc [][]byte, recv []int) [][]byte {
+	t.Helper()
+	d := c.NewDecoder()
+	done := false
+	for _, i := range recv {
+		var err error
+		done, err = d.Add(i, enc[i])
+		if err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+	}
+	if !done {
+		t.Fatalf("decoder not done after %d packets (k=%d)", len(recv), c.K())
+	}
+	src, err := d.Source()
+	if err != nil {
+		t.Fatalf("Source: %v", err)
+	}
+	return src
+}
+
+func testAnyKOfN(t *testing.T, mk func(k, n, pl int) (code.Codec, error)) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		k := 1 + rng.Intn(24)
+		n := k + 1 + rng.Intn(2*k)
+		pl := 32
+		c, err := mk(k, n, pl)
+		if err != nil {
+			t.Logf("construct: %v", err)
+			return false
+		}
+		src := randSource(rng, k, pl)
+		enc, err := c.Encode(src)
+		if err != nil {
+			t.Logf("encode: %v", err)
+			return false
+		}
+		// Systematic prefix.
+		for i := 0; i < k; i++ {
+			if !bytes.Equal(enc[i], src[i]) {
+				return false
+			}
+		}
+		// Random k-subset of the n packets decodes.
+		recv := rng.Perm(n)[:k]
+		got := decodeFrom(t, c, enc, recv)
+		for i := range src {
+			if !bytes.Equal(got[i], src[i]) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVandermondeAnyKOfN(t *testing.T) {
+	testAnyKOfN(t, func(k, n, pl int) (code.Codec, error) { return NewVandermonde(k, n, pl) })
+}
+
+func TestCauchyAnyKOfN(t *testing.T) {
+	testAnyKOfN(t, func(k, n, pl int) (code.Codec, error) { return NewCauchy(k, n, pl) })
+}
+
+func TestVandermondeRepairOnlyDecode(t *testing.T) {
+	// Decode purely from repair packets (worst case for the matrix).
+	rng := rand.New(rand.NewSource(11))
+	c, err := NewVandermonde(8, 24, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := randSource(rng, 8, 64)
+	enc, _ := c.Encode(src)
+	recv := []int{8, 9, 10, 11, 12, 13, 14, 15}
+	got := decodeFrom(t, c, enc, recv)
+	for i := range src {
+		if !bytes.Equal(got[i], src[i]) {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestCauchyRepairOnlyDecode(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	c, err := NewCauchy(8, 24, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := randSource(rng, 8, 64)
+	enc, _ := c.Encode(src)
+	recv := []int{16, 17, 18, 19, 20, 21, 22, 23}
+	got := decodeFrom(t, c, enc, recv)
+	for i := range src {
+		if !bytes.Equal(got[i], src[i]) {
+			t.Fatalf("packet %d differs", i)
+		}
+	}
+}
+
+func TestHalfSourceHalfRepair(t *testing.T) {
+	// The paper's Table 3 protocol: k/2 source + k/2 repair packets.
+	rng := rand.New(rand.NewSource(13))
+	for _, mk := range []func() (code.Codec, error){
+		func() (code.Codec, error) { return NewVandermonde(16, 32, 32) },
+		func() (code.Codec, error) { return NewCauchy(16, 32, 32) },
+	} {
+		c, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := randSource(rng, 16, 32)
+		enc, _ := c.Encode(src)
+		recv := append(rng.Perm(16)[:8], shift(rng.Perm(16)[:8], 16)...)
+		got := decodeFrom(t, c, enc, recv)
+		for i := range src {
+			if !bytes.Equal(got[i], src[i]) {
+				t.Fatalf("%s: packet %d differs", c.Name(), i)
+			}
+		}
+	}
+}
+
+func shift(xs []int, by int) []int {
+	out := make([]int, len(xs))
+	for i, x := range xs {
+		out[i] = x + by
+	}
+	return out
+}
+
+func TestDuplicatesIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	c, _ := NewCauchy(4, 8, 32)
+	src := randSource(rng, 4, 32)
+	enc, _ := c.Encode(src)
+	d := c.NewDecoder()
+	for i := 0; i < 10; i++ {
+		d.Add(5, enc[5]) // same packet over and over
+	}
+	if d.Received() != 1 {
+		t.Fatalf("Received = %d after duplicates, want 1", d.Received())
+	}
+	if d.Done() {
+		t.Fatal("done after one distinct packet")
+	}
+}
+
+func TestAddErrors(t *testing.T) {
+	c, _ := NewVandermonde(4, 8, 32)
+	d := c.NewDecoder()
+	if _, err := d.Add(8, make([]byte, 32)); err == nil {
+		t.Fatal("out-of-range index accepted")
+	}
+	if _, err := d.Add(0, make([]byte, 31)); err == nil {
+		t.Fatal("short packet accepted")
+	}
+	if _, err := d.Source(); err == nil {
+		t.Fatal("Source before done")
+	}
+}
+
+func TestConstructorValidation(t *testing.T) {
+	if _, err := NewVandermonde(0, 4, 32); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := NewVandermonde(4, 4, 32); err == nil {
+		t.Fatal("n=k accepted")
+	}
+	if _, err := NewVandermonde(4, 8, 31); err == nil {
+		t.Fatal("odd packetLen accepted")
+	}
+	if _, err := NewVandermonde(40000, 70000, 32); err == nil {
+		t.Fatal("n beyond field accepted")
+	}
+	if _, err := NewCauchy(4, 8, 24); err == nil {
+		t.Fatal("packetLen not multiple of 16 accepted")
+	}
+	if _, err := NewCauchy(4, 8, 32); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodersIndependent(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	c, _ := NewCauchy(4, 8, 32)
+	src := randSource(rng, 4, 32)
+	enc, _ := c.Encode(src)
+	d1 := c.NewDecoder()
+	d2 := c.NewDecoder()
+	d1.Add(0, enc[0])
+	if d2.Received() != 0 {
+		t.Fatal("decoders share state")
+	}
+}
+
+func TestAddAfterDoneIgnored(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	c, _ := NewVandermonde(3, 6, 32)
+	src := randSource(rng, 3, 32)
+	enc, _ := c.Encode(src)
+	d := c.NewDecoder()
+	for i := 0; i < 3; i++ {
+		d.Add(i, enc[i])
+	}
+	if !d.Done() {
+		t.Fatal("not done at k packets")
+	}
+	done, err := d.Add(4, enc[4])
+	if err != nil || !done {
+		t.Fatalf("Add after done: done=%v err=%v", done, err)
+	}
+	if d.Received() != 3 {
+		t.Fatalf("Received = %d, want 3", d.Received())
+	}
+}
+
+func TestDecoderDataIsCopied(t *testing.T) {
+	// Mutating the caller's buffer after Add must not corrupt decoding.
+	rng := rand.New(rand.NewSource(17))
+	c, _ := NewCauchy(2, 4, 32)
+	src := randSource(rng, 2, 32)
+	enc, _ := c.Encode(src)
+	d := c.NewDecoder()
+	buf := make([]byte, 32)
+	copy(buf, enc[2])
+	d.Add(2, buf)
+	for i := range buf {
+		buf[i] = 0xEE
+	}
+	d.Add(0, enc[0])
+	got, err := d.Source()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got[1], src[1]) {
+		t.Fatal("decoder aliased caller buffer")
+	}
+}

@@ -1,0 +1,204 @@
+// Package rs implements the two "standard" Reed-Solomon erasure-code
+// baselines the paper benchmarks against (§5.2, Tables 2-3):
+//
+//   - Vandermonde codes in the style of Rizzo's fec [16]: symbols are
+//     GF(2^16) elements, encoding evaluates the source polynomial at extra
+//     points, and decoding inverts a k x k matrix by Gaussian elimination
+//     (O(k^3)) — the behaviour that makes the baseline collapse at large k.
+//   - Cauchy codes in the style of Blömer et al. [2]: the generator is a
+//     Cauchy matrix expanded to bit matrices so that encoding and decoding
+//     are pure XORs of sub-packets, and the decode-time matrix inversion
+//     uses the closed-form O(x^2) Cauchy inverse.
+//
+// Both are systematic MDS codes: any k of the n encoding packets recover
+// the source.
+package rs
+
+import (
+	"fmt"
+
+	"repro/internal/code"
+	"repro/internal/gf"
+	"repro/internal/gfmat"
+)
+
+// Vandermonde is a systematic Reed-Solomon erasure code over GF(2^16) in
+// evaluation form: source packet j is the value of a degree-(k-1)
+// polynomial at point j, and repair packet r is its value at point k+r.
+type Vandermonde struct {
+	k, n      int
+	packetLen int
+	f         *gf.Field
+	// barycentric weights: w[j] = prod_{m != j, m < k} (j ^ m)
+	weights []uint32
+	invW    []uint32
+}
+
+// NewVandermonde constructs the codec. n must not exceed the field size
+// (65536) and packetLen must be even (16-bit symbols).
+func NewVandermonde(k, n, packetLen int) (*Vandermonde, error) {
+	f := gf.New16()
+	switch {
+	case k <= 0 || n <= k:
+		return nil, fmt.Errorf("rs: invalid k=%d n=%d", k, n)
+	case n > f.Size():
+		return nil, fmt.Errorf("rs: n=%d exceeds GF(2^16) size", n)
+	case packetLen <= 0 || packetLen%2 != 0:
+		return nil, fmt.Errorf("rs: packetLen %d must be positive and even", packetLen)
+	}
+	v := &Vandermonde{k: k, n: n, packetLen: packetLen, f: f}
+	v.weights = make([]uint32, k)
+	v.invW = make([]uint32, k)
+	for j := 0; j < k; j++ {
+		w := uint32(1)
+		for m := 0; m < k; m++ {
+			if m != j {
+				w = f.Mul(w, uint32(j^m))
+			}
+		}
+		v.weights[j] = w
+		v.invW[j] = f.Inv(w)
+	}
+	return v, nil
+}
+
+// Name implements code.Codec.
+func (v *Vandermonde) Name() string { return "rs-vandermonde" }
+
+// K implements code.Codec.
+func (v *Vandermonde) K() int { return v.k }
+
+// N implements code.Codec.
+func (v *Vandermonde) N() int { return v.n }
+
+// PacketLen implements code.Codec.
+func (v *Vandermonde) PacketLen() int { return v.packetLen }
+
+// repairRow returns the k encoding coefficients of repair packet r
+// (encoding packet index k+r), using the barycentric Lagrange form:
+// c_j = w(x) / ((x ^ j) * W_j) with x = k + r.
+func (v *Vandermonde) repairRow(r int, row []uint32) {
+	f := v.f
+	x := uint32(v.k + r)
+	wx := uint32(1)
+	for m := 0; m < v.k; m++ {
+		wx = f.Mul(wx, x^uint32(m))
+	}
+	for j := 0; j < v.k; j++ {
+		row[j] = f.Mul(wx, f.Inv(f.Mul(x^uint32(j), v.weights[j])))
+	}
+}
+
+// Encode implements code.Codec. The returned slice holds the k source
+// packets followed by n-k repair packets.
+func (v *Vandermonde) Encode(src [][]byte) ([][]byte, error) {
+	if err := code.CheckSrc(src, v.k, v.packetLen); err != nil {
+		return nil, err
+	}
+	out := make([][]byte, v.n)
+	copy(out, src)
+	row := make([]uint32, v.k)
+	for r := 0; r < v.n-v.k; r++ {
+		v.repairRow(r, row)
+		p := make([]byte, v.packetLen)
+		for j, c := range row {
+			if c == 0 {
+				continue
+			}
+			tab := v.f.MulTab(c)
+			gf.MulSliceAddTab16(tab, p, src[j])
+		}
+		out[v.k+r] = p
+	}
+	return out, nil
+}
+
+// NewDecoder implements code.Codec.
+func (v *Vandermonde) NewDecoder() code.Decoder {
+	return &vdmDecoder{c: v, have: make(map[int][]byte, v.k)}
+}
+
+type vdmDecoder struct {
+	c    *Vandermonde
+	have map[int][]byte // packet index -> payload (first k distinct kept)
+	src  [][]byte       // decoded source, cached
+}
+
+func (d *vdmDecoder) Add(i int, data []byte) (bool, error) {
+	if err := code.CheckPacket(i, data, d.c.n, d.c.packetLen); err != nil {
+		return d.Done(), err
+	}
+	if d.Done() {
+		return true, nil
+	}
+	if _, dup := d.have[i]; dup {
+		return false, nil
+	}
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	d.have[i] = buf
+	return d.Done(), nil
+}
+
+func (d *vdmDecoder) Done() bool { return len(d.have) >= d.c.k }
+
+func (d *vdmDecoder) Received() int { return len(d.have) }
+
+// Source implements code.Decoder. This is the expensive step the paper
+// measures in Table 3: Gaussian inversion of the k x k reception matrix
+// followed by reconstruction of the missing source packets.
+func (d *vdmDecoder) Source() ([][]byte, error) {
+	if d.src != nil {
+		return d.src, nil
+	}
+	if !d.Done() {
+		return nil, code.ErrNotReady
+	}
+	c := d.c
+	f := c.f
+	// Deterministic order: source packets first (their rows are units and
+	// make the elimination cheaper), then repairs — mirroring how Rizzo's
+	// decoder shuffles known source packets to the top.
+	idx := make([]int, 0, c.k)
+	for i := 0; i < c.n && len(idx) < c.k; i++ {
+		if _, ok := d.have[i]; ok {
+			idx = append(idx, i)
+		}
+	}
+	m := gfmat.New(f, c.k, c.k)
+	rowBuf := make([]uint32, c.k)
+	for r, i := range idx {
+		if i < c.k {
+			m.Set(r, i, 1)
+			continue
+		}
+		c.repairRow(i-c.k, rowBuf)
+		copy(m.Row(r), rowBuf)
+	}
+	inv, err := m.Invert()
+	if err != nil {
+		return nil, fmt.Errorf("rs: reception matrix singular: %w", err)
+	}
+	src := make([][]byte, c.k)
+	for _, i := range idx {
+		if i < c.k {
+			src[i] = d.have[i]
+		}
+	}
+	for j := 0; j < c.k; j++ {
+		if src[j] != nil {
+			continue
+		}
+		p := make([]byte, c.packetLen)
+		for r, coeff := range inv.Row(j) {
+			if coeff == 0 {
+				continue
+			}
+			tab := f.MulTab(coeff)
+			gf.MulSliceAddTab16(tab, p, d.have[idx[r]])
+		}
+		src[j] = p
+	}
+	d.src = src
+	return src, nil
+}

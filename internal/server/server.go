@@ -1,0 +1,111 @@
+// Package server drives a digital-fountain session onto a transport: it
+// walks the carousel schedule round by round, stamps headers (serials per
+// layer, SP and burst flags) and hands packets to the substrate. The engine
+// is clock-agnostic: Step sends one round synchronously (used by the
+// virtual-time experiments), Run paces rounds in real time (used by the
+// UDP prototype binary).
+package server
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+)
+
+// Sender is the transmit side of a transport (transport.Bus and
+// transport.UDPServer both satisfy it).
+type Sender interface {
+	Send(layer int, pkt []byte) error
+}
+
+// Engine transmits one session.
+type Engine struct {
+	sess    *core.Session
+	tx      Sender
+	serials []uint32
+	round   int
+	sent    int
+}
+
+// New constructs an engine for the session over the given sender.
+func New(sess *core.Session, tx Sender) *Engine {
+	return &Engine{sess: sess, tx: tx, serials: make([]uint32, sess.Config().Layers)}
+}
+
+// Round returns the next round number to be sent.
+func (e *Engine) Round() int { return e.round }
+
+// Sent returns the total number of packets handed to the transport.
+func (e *Engine) Sent() int { return e.sent }
+
+// Step transmits one full round across all layers and advances the round
+// counter. The first packet of an SP round carries the SP flag; packets of
+// a burst round carry the burst flag (the doubled instantaneous rate of
+// §7.1.1 is applied by Run's pacing, not by duplicating content).
+func (e *Engine) Step() error {
+	round := e.round
+	e.round++
+	layers := e.sess.Config().Layers
+	for layer := 0; layer < layers; layer++ {
+		idxs := e.sess.CarouselIndices(layer, round)
+		var flags uint8
+		if e.sess.IsSP(layer, round) {
+			flags |= proto.FlagSP
+		}
+		if e.sess.BurstRound(layer, round) {
+			flags |= proto.FlagBurst
+		}
+		for pi, idx := range idxs {
+			f := flags
+			if pi > 0 {
+				f &^= proto.FlagSP // SP marks only the round's first packet
+			}
+			e.serials[layer]++
+			pkt := e.sess.Packet(idx, uint8(layer), e.serials[layer], f)
+			if err := e.tx.Send(layer, pkt); err != nil {
+				return err
+			}
+			e.sent++
+		}
+	}
+	return nil
+}
+
+// Run paces Step in real time so that the base layer emits approximately
+// baseRate packets per second, until the context is cancelled. Burst
+// rounds are sent back-to-back with their predecessor (double instantaneous
+// rate).
+func (e *Engine) Run(ctx context.Context, baseRate int) error {
+	if baseRate <= 0 {
+		baseRate = 512
+	}
+	n := e.sess.Codec().N()
+	g := e.sess.Config().Layers
+	blockSize := 1 << uint(g-1)
+	blocks := (n + blockSize - 1) / blockSize
+	perRound := blocks // layer 0 sends one slot per block per round
+	interval := time.Second * time.Duration(perRound) / time.Duration(baseRate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-ticker.C:
+			if err := e.Step(); err != nil {
+				return err
+			}
+			// Double rate during bursts: immediately send the next round.
+			if e.sess.BurstRound(0, e.round) {
+				if err := e.Step(); err != nil {
+					return err
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,144 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: summary statistics, empirical CDFs (for sampling Tornado
+// reception overheads inside large population sweeps, §6.2), and
+// deterministic PRNG plumbing.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds the moments of a sample.
+type Summary struct {
+	N        int
+	Mean     float64
+	Std      float64
+	Min, Max float64
+}
+
+// Summarize computes summary statistics of xs. An empty sample returns a
+// zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - s.Mean
+		varSum += d * d
+	}
+	s.Std = math.Sqrt(varSum / float64(len(xs)))
+	return s
+}
+
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.4f sd=%.4f min=%.4f max=%.4f", s.N, s.Mean, s.Std, s.Min, s.Max)
+}
+
+// CDF is an empirical distribution over float64 samples.
+type CDF struct {
+	sorted []float64
+}
+
+// NewCDF builds an empirical CDF (the input is copied).
+func NewCDF(samples []float64) *CDF {
+	s := make([]float64, len(samples))
+	copy(s, samples)
+	sort.Float64s(s)
+	return &CDF{sorted: s}
+}
+
+// Len returns the sample count.
+func (c *CDF) Len() int { return len(c.sorted) }
+
+// Quantile returns the q-quantile (q in [0,1]) by nearest-rank.
+func (c *CDF) Quantile(q float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return c.sorted[0]
+	}
+	if q >= 1 {
+		return c.sorted[len(c.sorted)-1]
+	}
+	i := int(q * float64(len(c.sorted)))
+	if i >= len(c.sorted) {
+		i = len(c.sorted) - 1
+	}
+	return c.sorted[i]
+}
+
+// Sample draws a value using u in [0,1) (inverse-transform sampling).
+func (c *CDF) Sample(u float64) float64 { return c.Quantile(u) }
+
+// P returns the empirical P(X <= x).
+func (c *CDF) P(x float64) float64 {
+	if len(c.sorted) == 0 {
+		return 0
+	}
+	i := sort.SearchFloat64s(c.sorted, math.Nextafter(x, math.Inf(1)))
+	return float64(i) / float64(len(c.sorted))
+}
+
+// Histogram counts samples into equal-width bins over [lo, hi); values
+// outside clamp to the edge bins. It returns the bin counts.
+func Histogram(xs []float64, lo, hi float64, bins int) []int {
+	out := make([]int, bins)
+	if bins == 0 || hi <= lo {
+		return out
+	}
+	w := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		i := int((x - lo) / w)
+		if i < 0 {
+			i = 0
+		}
+		if i >= bins {
+			i = bins - 1
+		}
+		out[i]++
+	}
+	return out
+}
+
+// MeanMinOfR estimates E[min of r i.i.d. draws] from a sample distribution
+// by exact order statistics on the empirical CDF: for sorted samples x_i,
+// P(min > x_i) = ((n-i-1)/n)^r.
+func (c *CDF) MeanMinOfR(r int) float64 {
+	n := len(c.sorted)
+	if n == 0 {
+		return 0
+	}
+	if r <= 1 {
+		sum := 0.0
+		for _, x := range c.sorted {
+			sum += x
+		}
+		return sum / float64(n)
+	}
+	// E[min] = Σ_i x_(i) · [P(min >= x_(i)) - P(min >= x_(i+1))]
+	// with P(min >= x_(i)) = ((n-i)/n)^r for the empirical distribution.
+	mean := 0.0
+	prev := 1.0 // P(min >= x_(0)) = 1
+	for i := 0; i < n; i++ {
+		next := math.Pow(float64(n-i-1)/float64(n), float64(r))
+		mean += c.sorted[i] * (prev - next)
+		prev = next
+	}
+	return mean
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if math.Abs(s.Std-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("std = %v", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatal("empty sample not zero")
+	}
+}
+
+func TestCDFQuantileAndP(t *testing.T) {
+	c := NewCDF([]float64{3, 1, 2, 4})
+	if c.Quantile(0) != 1 || c.Quantile(1) != 4 {
+		t.Fatal("edge quantiles wrong")
+	}
+	if c.Quantile(0.5) != 3 {
+		t.Fatalf("median-ish = %v", c.Quantile(0.5))
+	}
+	if c.P(0) != 0 || c.P(2) != 0.5 || c.P(10) != 1 {
+		t.Fatalf("P wrong: %v %v %v", c.P(0), c.P(2), c.P(10))
+	}
+	if c.Len() != 4 {
+		t.Fatal("len wrong")
+	}
+}
+
+func TestCDFSampleMatchesDistribution(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	src := make([]float64, 1000)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	c := NewCDF(src)
+	var resampled []float64
+	for i := 0; i < 5000; i++ {
+		resampled = append(resampled, c.Sample(rng.Float64()))
+	}
+	s1, s2 := Summarize(src), Summarize(resampled)
+	if math.Abs(s1.Mean-s2.Mean) > 0.1 || math.Abs(s1.Std-s2.Std) > 0.1 {
+		t.Fatalf("resampled stats diverge: %v vs %v", s1, s2)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := Histogram([]float64{0.1, 0.2, 0.9, -5, 99}, 0, 1, 2)
+	if h[0] != 3 || h[1] != 2 {
+		t.Fatalf("hist = %v", h)
+	}
+	if got := Histogram(nil, 0, 0, 0); len(got) != 0 {
+		t.Fatal("degenerate histogram")
+	}
+}
+
+func TestMeanMinOfR(t *testing.T) {
+	// For uniform [0,1] samples, E[min of r] ≈ 1/(r+1).
+	rng := rand.New(rand.NewSource(2))
+	src := make([]float64, 20000)
+	for i := range src {
+		src[i] = rng.Float64()
+	}
+	c := NewCDF(src)
+	for _, r := range []int{1, 2, 5, 10} {
+		got := c.MeanMinOfR(r)
+		want := 1 / float64(r+1)
+		if math.Abs(got-want) > 0.01 {
+			t.Fatalf("r=%d: E[min] = %v, want ≈ %v", r, got, want)
+		}
+	}
+}
+
+func TestMeanMinOfRMatchesSimulation(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	src := make([]float64, 5000)
+	for i := range src {
+		src[i] = rng.ExpFloat64()
+	}
+	c := NewCDF(src)
+	r := 7
+	// Direct simulation from the same empirical distribution.
+	sum := 0.0
+	trials := 20000
+	for tr := 0; tr < trials; tr++ {
+		m := math.Inf(1)
+		for i := 0; i < r; i++ {
+			v := src[rng.Intn(len(src))]
+			if v < m {
+				m = v
+			}
+		}
+		sum += m
+	}
+	sim := sum / float64(trials)
+	got := c.MeanMinOfR(r)
+	if math.Abs(got-sim) > 0.02 {
+		t.Fatalf("order-stat %v vs simulated %v", got, sim)
+	}
+}
+
+func TestQuantileMonotone(t *testing.T) {
+	err := quick.Check(func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(50))
+		for i := range xs {
+			xs[i] = rng.Float64() * 100
+		}
+		c := NewCDF(xs)
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := c.Quantile(q)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,270 @@
+package tornado
+
+import (
+	"repro/internal/bitmat"
+	"repro/internal/code"
+	"repro/internal/gf"
+)
+
+// decoder is the incremental Tornado decoder. It runs the two-rule
+// propagation after every packet and falls back to Gaussian elimination on
+// the dense tail when propagation stalls, so Done() flips exactly at the
+// packet that makes the source recoverable — the property the paper uses
+// to let a receiver leave the multicast session as early as possible.
+type decoder struct {
+	c *Codec
+
+	data      [][]byte // per value id; nil while unknown
+	gotPacket []bool   // per packet index, for duplicate suppression
+	received  int
+	srcLeft   int
+	knownVals int // total known values, for cheap residual gating
+
+	// Per-check state.
+	acc []([]byte) // XOR of known neighbors (nil until first contribution)
+	cnt []int32    // number of unknown neighbors
+	val [][]byte   // check value; nil while unknown
+
+	queue []int32
+
+	// Elimination bookkeeping: after a failed attempt in a scope, the
+	// retry is deferred by a number of received packets proportional to
+	// the information shortfall, which bounds wasted eliminations while
+	// reacting quickly once a core becomes solvable.
+	retryAt     []int // per scope, in units of received packets
+	residualCap int
+}
+
+func newDecoder(c *Codec) *decoder {
+	// The cap bounds the cubic elimination cost while still covering the
+	// stalled-core sizes observed when large graphs run at 90-95% of
+	// capacity (up to ~40% of an 8k layer). A larger dense tail (the B
+	// variant) shifts the cap up, which is part of why B decodes more
+	// slowly in exchange for lower overhead.
+	cap := 2*c.params.denseTarget() + 512
+	if cap < c.denseInputs+256 {
+		cap = c.denseInputs + 256
+	}
+	d := &decoder{
+		c:           c,
+		data:        make([][]byte, c.numValues),
+		gotPacket:   make([]bool, c.n),
+		srcLeft:     c.k,
+		acc:         make([][]byte, len(c.checkNeighbors)),
+		cnt:         make([]int32, len(c.checkNeighbors)),
+		val:         make([][]byte, len(c.checkNeighbors)),
+		retryAt:     make([]int, len(c.scopes)),
+		residualCap: cap,
+	}
+	for ci, ns := range c.checkNeighbors {
+		d.cnt[ci] = int32(len(ns))
+	}
+	return d
+}
+
+// Add implements code.Decoder.
+func (d *decoder) Add(i int, data []byte) (bool, error) {
+	if err := code.CheckPacket(i, data, d.c.n, d.c.packetLen); err != nil {
+		return d.Done(), err
+	}
+	if d.Done() {
+		return true, nil
+	}
+	if d.gotPacket[i] {
+		return false, nil
+	}
+	d.gotPacket[i] = true
+	d.received++
+	buf := make([]byte, len(data))
+	copy(buf, data)
+	if i < d.c.numValues {
+		d.setValue(int32(i), buf)
+	} else {
+		ci := d.c.denseStart + (i - d.c.numValues)
+		if d.val[ci] == nil {
+			d.val[ci] = buf
+			d.queue = append(d.queue, int32(ci))
+		}
+	}
+	d.drain()
+	d.sweepScopes()
+	return d.Done(), nil
+}
+
+// sweepScopes repeatedly attempts per-level eliminations, deepest scope
+// first, until no scope makes progress. Solving a deep level unblocks
+// propagation in the level above, so the sweep loops while anything moves.
+func (d *decoder) sweepScopes() {
+	for progress := true; progress && !d.Done(); {
+		progress = false
+		for si := len(d.c.scopes) - 1; si >= 0 && !d.Done(); si-- {
+			if d.trySolve(si) {
+				progress = true
+			}
+		}
+	}
+}
+
+// Done implements code.Decoder.
+func (d *decoder) Done() bool { return d.srcLeft == 0 }
+
+// Received implements code.Decoder.
+func (d *decoder) Received() int { return d.received }
+
+// Source implements code.Decoder.
+func (d *decoder) Source() ([][]byte, error) {
+	if !d.Done() {
+		return nil, code.ErrNotReady
+	}
+	return d.data[:d.c.k], nil
+}
+
+// setValue marks value v known with payload buf (ownership transfers) and
+// propagates it into every check that uses it.
+func (d *decoder) setValue(v int32, buf []byte) {
+	if d.data[v] != nil {
+		return
+	}
+	d.data[v] = buf
+	d.knownVals++
+	if int(v) < d.c.k {
+		d.srcLeft--
+	}
+	// The value is itself the output of a cascade check: its check now has
+	// a known value.
+	if int(v) >= d.c.k {
+		ci := int32(int(v) - d.c.k)
+		if d.val[ci] == nil {
+			d.val[ci] = buf
+			d.queue = append(d.queue, ci)
+		}
+	}
+	for _, ci := range d.c.valueChecks[v] {
+		if d.acc[ci] == nil {
+			d.acc[ci] = make([]byte, d.c.packetLen)
+		}
+		gf.XORSlice(d.acc[ci], buf)
+		d.cnt[ci]--
+		d.queue = append(d.queue, ci)
+	}
+}
+
+// drain runs the two propagation rules to a fixed point.
+func (d *decoder) drain() {
+	for len(d.queue) > 0 && !d.Done() {
+		ci := d.queue[len(d.queue)-1]
+		d.queue = d.queue[:len(d.queue)-1]
+		switch {
+		case d.cnt[ci] == 1 && d.val[ci] != nil:
+			// Rule (a): recover the single unknown neighbor.
+			var unknown int32 = -1
+			for _, v := range d.c.checkNeighbors[ci] {
+				if d.data[v] == nil {
+					unknown = v
+					break
+				}
+			}
+			if unknown < 0 {
+				continue // stale queue entry
+			}
+			buf := make([]byte, d.c.packetLen)
+			copy(buf, d.val[ci])
+			if d.acc[ci] != nil {
+				gf.XORSlice(buf, d.acc[ci])
+			}
+			d.setValue(unknown, buf)
+		case d.cnt[ci] == 0 && d.val[ci] == nil:
+			// Rule (b): all inputs known; the check's value is acc.
+			v := d.acc[ci]
+			if v == nil {
+				v = make([]byte, d.c.packetLen) // zero-degree check
+			}
+			d.val[ci] = v
+			if own := d.c.checkOwn[ci]; own >= 0 && d.data[own] == nil {
+				d.setValue(own, v)
+			}
+		}
+	}
+}
+
+// trySolve attempts Gaussian elimination on one level's stalled subsystem
+// (scope si): the unknown values of that level's input layer against the
+// checks computed from it. This is what bootstraps bottom-up decoding (the
+// dense tail is the deepest scope) and what dissolves the small residual
+// cores propagation leaves when the graphs run near capacity — without it
+// a stalled deep level starves every level above (§5 decoding).
+//
+// The attempt is skipped while the unknown count exceeds residualCap
+// (bounding elimination cost) and, after a rank-deficient attempt, until
+// enough new information has arrived to plausibly close the rank gap.
+// It reports whether it recovered anything.
+func (d *decoder) trySolve(si int) bool {
+	if d.received < d.retryAt[si] {
+		return false
+	}
+	c := d.c
+	sc := c.scopes[si]
+	var unknowns []int32
+	for v := sc.valOff; v < sc.valOff+sc.valLen; v++ {
+		if d.data[v] == nil {
+			unknowns = append(unknowns, int32(v))
+		}
+	}
+	if len(unknowns) == 0 {
+		d.retryAt[si] = d.received + 1
+		return false
+	}
+	if len(unknowns) > d.residualCap {
+		d.retryAt[si] = d.received + (len(unknowns)-d.residualCap+3)/4
+		return false
+	}
+	var eqs []int
+	for ci := sc.checkOff; ci < sc.checkOff+sc.checkLen; ci++ {
+		if d.val[ci] != nil && d.cnt[ci] > 0 {
+			eqs = append(eqs, ci)
+		}
+	}
+	if len(eqs) < len(unknowns) {
+		d.retryAt[si] = d.received + (len(unknowns)-len(eqs)+3)/4
+		return false
+	}
+	// A modest equation surplus suffices for full rank with overwhelming
+	// probability; keeping the system small bounds elimination cost.
+	maxEqs := len(unknowns) + 64
+	if len(eqs) > maxEqs {
+		eqs = eqs[:maxEqs]
+	}
+	col := make(map[int32]int, len(unknowns))
+	for i, v := range unknowns {
+		col[v] = i
+	}
+	a := bitmat.New(len(eqs), len(unknowns))
+	rhs := make([][]byte, len(eqs))
+	for r, ci := range eqs {
+		buf := make([]byte, c.packetLen)
+		copy(buf, d.val[ci])
+		if d.acc[ci] != nil {
+			gf.XORSlice(buf, d.acc[ci])
+		}
+		rhs[r] = buf
+		for _, v := range c.checkNeighbors[ci] {
+			if j, ok := col[v]; ok {
+				a.Set(r, j, true)
+			}
+		}
+	}
+	sol, rank, ok := bitmat.TrySolve(a, rhs)
+	if !ok {
+		gap := (len(unknowns) - rank + 3) / 4
+		if gap < 1 {
+			gap = 1
+		}
+		d.retryAt[si] = d.received + gap
+		return false
+	}
+	for i, v := range unknowns {
+		d.setValue(v, sol[i])
+	}
+	d.drain()
+	return true
+}

@@ -1,0 +1,71 @@
+package tornado
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+)
+
+// TestDiagStall feeds 1.3k packets and dumps per-layer unknown counts and
+// equation availability — a debugging aid for the decoder's fixed point.
+// Enable with TORNADO_TUNING=1.
+func TestDiagStall(t *testing.T) {
+	if os.Getenv("TORNADO_TUNING") != "1" {
+		t.Skip("diagnostic")
+	}
+	k := 16384
+	c, err := New(A(), k, 2*k, 4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	src := randSource(rng, k, 4)
+	enc, _ := c.Encode(src)
+	var d *decoder
+	fed := 0
+	for seed := int64(0); seed < 20; seed++ {
+		trng := rand.New(rand.NewSource(seed))
+		d = newDecoder(c)
+		order := trng.Perm(c.N())
+		fed = 0
+		for _, i := range order {
+			fed++
+			if done, _ := d.Add(i, enc[i]); done {
+				break
+			}
+			if fed >= int(1.06*float64(k)) {
+				break
+			}
+		}
+		t.Logf("seed=%d fed=%d done=%v srcLeft=%d knownVals=%d/%d", seed, fed, d.Done(), d.srcLeft, d.knownVals, c.numValues)
+		if !d.Done() {
+			break
+		}
+	}
+	for si, sc := range c.scopes {
+		unk := 0
+		for v := sc.valOff; v < sc.valOff+sc.valLen; v++ {
+			if d.data[v] == nil {
+				unk++
+			}
+		}
+		eqAvail, eqUsable := 0, 0
+		minCnt, maxCnt := int32(1<<30), int32(-1)
+		for ci := sc.checkOff; ci < sc.checkOff+sc.checkLen; ci++ {
+			if d.val[ci] != nil {
+				eqAvail++
+				if d.cnt[ci] > 0 {
+					eqUsable++
+				}
+			}
+			if d.cnt[ci] < minCnt {
+				minCnt = d.cnt[ci]
+			}
+			if d.cnt[ci] > maxCnt {
+				maxCnt = d.cnt[ci]
+			}
+		}
+		t.Logf("scope %d: vals[%d+%d] unknown=%d checks[%d+%d] valKnown=%d usable=%d cnt=[%d..%d] retryAt=%d received=%d",
+			si, sc.valOff, sc.valLen, unk, sc.checkOff, sc.checkLen, eqAvail, eqUsable, minCnt, maxCnt, d.retryAt[si], d.received)
+	}
+}

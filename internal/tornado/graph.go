@@ -1,0 +1,108 @@
+package tornado
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// bigraph is a random bipartite graph between `left` value nodes and
+// `right` check nodes. neighbors[c] lists the left indices (0-based within
+// the layer) feeding check c. The construction is deterministic given the
+// rng state, so a sender and receiver sharing the session seed derive
+// identical graphs.
+type bigraph struct {
+	left, right int
+	neighbors   [][]int32
+}
+
+// newBigraph builds the irregular graph of Luby et al. [8]: left node
+// degrees follow the truncated heavy-tail distribution, and each left node
+// of degree >= 3 connects to distinct uniformly random checks, which makes
+// the right degrees binomial ≈ Poisson — the heavy-tail/Poisson pair is the
+// capacity-approaching combination whose iterative-decoding threshold sits
+// within O(1/MaxDegree) of optimal, i.e. reception overhead ε ≈ 1/D.
+//
+// Degree-2 left nodes get special treatment: node t is wired to the
+// consecutive checks (π(t), π(t+1)) of a random check permutation π, so the
+// subgraph induced by degree-2 nodes is a simple path — cycle-free. Without
+// this, pairs of degree-2 nodes sharing both checks (4-cycles) appear with
+// constant probability per graph and each one is an unrecoverable two-packet
+// core: the decoder would stall until one of a handful of specific packets
+// arrives, which is exactly the bimodal overhead blow-up we must avoid (the
+// same device caps the number of degree-2 nodes at right-1 and promotes the
+// excess to degree 3, keeping the stability condition strictly satisfied).
+func newBigraph(left, right int, counts map[int]int, rng *rand.Rand) *bigraph {
+	if left <= 0 || right <= 0 {
+		panic("tornado: empty graph side")
+	}
+	// Copy: the degree-2 cap below must not mutate the caller's map.
+	cp := make(map[int]int, len(counts))
+	for d, c := range counts {
+		cp[d] = c
+	}
+	counts = cp
+	if right >= 2 && counts[2] > right-1 {
+		counts[3] += counts[2] - (right - 1)
+		counts[2] = right - 1
+	}
+	degs := make([]int, 0, len(counts))
+	for d := range counts {
+		degs = append(degs, d)
+	}
+	sort.Ints(degs)
+	// Assign degrees to left nodes in a shuffled order so degree classes
+	// are spread uniformly.
+	leftDeg := make([]int, left)
+	pos := 0
+	for _, d := range degs {
+		for i := 0; i < counts[d]; i++ {
+			leftDeg[pos] = d
+			pos++
+		}
+	}
+	rng.Shuffle(left, func(i, j int) { leftDeg[i], leftDeg[j] = leftDeg[j], leftDeg[i] })
+
+	// Random check ordering for the degree-2 path.
+	perm := rng.Perm(right)
+	next2 := 0
+
+	g := &bigraph{left: left, right: right, neighbors: make([][]int32, right)}
+	var scratch []int32
+	for i, d := range leftDeg {
+		if d == 2 && right >= 2 {
+			a, b := perm[next2], perm[next2+1]
+			next2++
+			g.neighbors[a] = append(g.neighbors[a], int32(i))
+			g.neighbors[b] = append(g.neighbors[b], int32(i))
+			continue
+		}
+		if d > right {
+			d = right
+		}
+		// Sample d distinct checks by rejection (d << right in practice).
+		scratch = scratch[:0]
+	pick:
+		for len(scratch) < d {
+			c := int32(rng.Intn(right))
+			for _, prev := range scratch {
+				if prev == c {
+					continue pick
+				}
+			}
+			scratch = append(scratch, c)
+		}
+		for _, c := range scratch {
+			g.neighbors[c] = append(g.neighbors[c], int32(i))
+		}
+	}
+	return g
+}
+
+// edgeCount returns the total number of edges (after duplicate repair).
+func (g *bigraph) edgeCount() int {
+	n := 0
+	for _, ns := range g.neighbors {
+		n += len(ns)
+	}
+	return n
+}

@@ -1,0 +1,84 @@
+package tornado
+
+import (
+	"math/rand"
+	"os"
+	"testing"
+	"time"
+)
+
+// TestTuningReport prints overhead and decode-time statistics for both
+// variants across k. It is the measurement loop used to tune the A/B
+// parameter sets toward the paper's published overhead distributions
+// (Figure 2: A mean .0548 max .085 σ .0052; B mean .0306 max .055 σ .0031).
+// Run with: go test ./internal/tornado -run TestTuningReport -v -tuning
+func TestTuningReport(t *testing.T) {
+	if testing.Short() || !tuningEnabled() {
+		t.Skip("tuning report disabled (set TORNADO_TUNING=1)")
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, p := range []Params{A(), B()} {
+		for _, k := range []int{256, 1024, 4096, 16384} {
+			c, err := New(p, k, 2*k, 16, 7)
+			if err != nil {
+				t.Fatal(err)
+			}
+			src := randSource(rng, k, 16)
+			enc, _ := c.Encode(src)
+			trials := 60
+			var sum, sumSq, max float64
+			var decTotal time.Duration
+			for trial := 0; trial < trials; trial++ {
+				d := c.NewDecoder()
+				order := rng.Perm(c.N())
+				used := 0
+				start := time.Now()
+				for _, i := range order {
+					used++
+					if done, _ := d.Add(i, enc[i]); done {
+						break
+					}
+				}
+				decTotal += time.Since(start)
+				eps := float64(used)/float64(k) - 1
+				sum += eps
+				sumSq += eps * eps
+				if eps > max {
+					max = eps
+				}
+			}
+			mean := sum / float64(trials)
+			std := sumSq/float64(trials) - mean*mean
+			if std < 0 {
+				std = 0
+			}
+			t.Logf("%s k=%-6d levels=%v dense=%v edges=%d: eps mean=%.4f max=%.4f sd=%.4f dec=%v",
+				p.Variant, k, c.Levels(), sliceOfDense(c), c.Edges(),
+				mean, max, sqrt(std), decTotal/time.Duration(trials))
+		}
+	}
+}
+
+func sliceOfDense(c *Codec) [2]int {
+	in, rows := c.DenseSize()
+	return [2]int{in, rows}
+}
+
+func sqrt(x float64) float64 {
+	if x <= 0 {
+		return 0
+	}
+	z := x
+	for i := 0; i < 40; i++ {
+		z = (z + x/z) / 2
+	}
+	return z
+}
+
+func tuningEnabled() bool {
+	return tuningEnv
+}
+
+var tuningEnv = func() bool {
+	return os.Getenv("TORNADO_TUNING") == "1"
+}()

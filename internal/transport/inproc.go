@@ -1,0 +1,115 @@
+// Package transport carries fountain packets from a server to clients over
+// two interchangeable substrates:
+//
+//   - Bus: an in-process multicast channel with per-client loss injection.
+//     Delivery is synchronous, so experiments (Figure 8) run with a virtual
+//     clock at full CPU speed and perfectly reproducibly — this substitutes
+//     for the paper's Berkeley/CMU/Cornell testbed (see DESIGN.md).
+//   - UDP: real sockets. Clients register per-layer subscriptions with the
+//     server over a tiny datagram protocol standing in for IGMP joins, and
+//     the server unicasts each layer's packets to its subscribers; the
+//     control channel (session info over UDP unicast) matches §7.3.
+package transport
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/netsim"
+)
+
+// Handler consumes packets delivered on a subscribed layer.
+type Handler func(layer int, pkt []byte)
+
+// Bus is the in-process lossy multicast substrate.
+type Bus struct {
+	layers int
+	mu     sync.Mutex
+	subs   map[*BusClient]struct{}
+}
+
+// NewBus creates a bus with the given number of layers (groups).
+func NewBus(layers int) *Bus {
+	return &Bus{layers: layers, subs: make(map[*BusClient]struct{})}
+}
+
+// Layers returns the group count.
+func (b *Bus) Layers() int { return b.layers }
+
+// Send delivers pkt on a layer to every subscribed client, applying each
+// client's loss process. Delivery is synchronous (the handler runs on the
+// caller's goroutine).
+func (b *Bus) Send(layer int, pkt []byte) error {
+	if layer < 0 || layer >= b.layers {
+		return fmt.Errorf("transport: layer %d out of range", layer)
+	}
+	b.mu.Lock()
+	clients := make([]*BusClient, 0, len(b.subs))
+	for c := range b.subs {
+		clients = append(clients, c)
+	}
+	b.mu.Unlock()
+	for _, c := range clients {
+		c.deliver(layer, pkt)
+	}
+	return nil
+}
+
+// BusClient is one receiver attached to a Bus.
+type BusClient struct {
+	bus     *Bus
+	mu      sync.Mutex
+	level   int // subscribed to layers 0..level
+	loss    netsim.LossProcess
+	handler Handler
+	closed  bool
+}
+
+// NewClient attaches a client subscribed to layers 0..level with the given
+// loss process (nil = lossless) and delivery handler.
+func (b *Bus) NewClient(level int, loss netsim.LossProcess, h Handler) *BusClient {
+	c := &BusClient{bus: b, level: level, loss: loss, handler: h}
+	b.mu.Lock()
+	b.subs[c] = struct{}{}
+	b.mu.Unlock()
+	return c
+}
+
+// SetLevel changes the client's cumulative subscription level.
+func (c *BusClient) SetLevel(level int) {
+	c.mu.Lock()
+	c.level = level
+	c.mu.Unlock()
+}
+
+// Level returns the current subscription level.
+func (c *BusClient) Level() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.level
+}
+
+// Close detaches the client from the bus.
+func (c *BusClient) Close() {
+	c.bus.mu.Lock()
+	delete(c.bus.subs, c)
+	c.bus.mu.Unlock()
+	c.mu.Lock()
+	c.closed = true
+	c.mu.Unlock()
+}
+
+func (c *BusClient) deliver(layer int, pkt []byte) {
+	c.mu.Lock()
+	if c.closed || layer > c.level {
+		c.mu.Unlock()
+		return
+	}
+	lost := c.loss != nil && c.loss.Lose()
+	h := c.handler
+	c.mu.Unlock()
+	if lost || h == nil {
+		return
+	}
+	h(layer, pkt)
+}

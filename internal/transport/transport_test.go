@@ -1,0 +1,146 @@
+package transport
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+func TestBusDeliveryAndLevels(t *testing.T) {
+	b := NewBus(4)
+	var got []int
+	c := b.NewClient(1, nil, func(layer int, pkt []byte) {
+		got = append(got, layer)
+	})
+	for l := 0; l < 4; l++ {
+		b.Send(l, []byte{byte(l)})
+	}
+	if len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("level-1 client got layers %v", got)
+	}
+	c.SetLevel(3)
+	got = nil
+	b.Send(3, []byte{3})
+	if len(got) != 1 {
+		t.Fatal("level change not applied")
+	}
+	c.Close()
+	got = nil
+	b.Send(0, []byte{0})
+	if len(got) != 0 {
+		t.Fatal("closed client still receives")
+	}
+}
+
+func TestBusLossInjection(t *testing.T) {
+	b := NewBus(1)
+	rng := rand.New(rand.NewSource(1))
+	n := 0
+	b.NewClient(0, &netsim.Bernoulli{P: 0.5, Rng: rng}, func(int, []byte) { n++ })
+	for i := 0; i < 10000; i++ {
+		b.Send(0, []byte{1})
+	}
+	if n < 4500 || n > 5500 {
+		t.Fatalf("delivered %d of 10000 at p=0.5", n)
+	}
+}
+
+func TestBusBadLayer(t *testing.T) {
+	b := NewBus(2)
+	if err := b.Send(2, nil); err == nil {
+		t.Fatal("bad layer accepted")
+	}
+}
+
+func TestUDPSubscribeAndDeliver(t *testing.T) {
+	srv, err := NewUDPServer("127.0.0.1:0", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := NewUDPClient(srv.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	// Wait for membership to register.
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Subscribers(0) == 0 || srv.Subscribers(1) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriptions never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Subscribers(2) != 0 {
+		t.Fatal("unexpected layer-2 subscription")
+	}
+	payload := []byte("hello fountain")
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var got []byte
+	go func() {
+		defer wg.Done()
+		pkt, ok := cli.Recv(2 * time.Second)
+		if ok {
+			got = pkt
+		}
+	}()
+	time.Sleep(20 * time.Millisecond)
+	if err := srv.Send(1, payload); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestUDPUnsubscribe(t *testing.T) {
+	srv, err := NewUDPServer("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	cli, err := NewUDPClient(srv.Addr(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cli.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.Subscribers(1) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("never subscribed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cli.SetLevel(0)
+	for srv.Subscribers(1) != 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("never unsubscribed")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if srv.Subscribers(0) != 1 {
+		t.Fatal("layer 0 dropped too")
+	}
+}
+
+func TestControlRoundTrip(t *testing.T) {
+	reply := []byte{9, 9, 9}
+	addr, stop, err := ServeControl("127.0.0.1:0", func(b []byte) bool { return len(b) == 1 && b[0] == 7 }, reply)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stop()
+	got, err := RequestSessionInfo(addr, []byte{7}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, reply) {
+		t.Fatalf("got %v", got)
+	}
+}

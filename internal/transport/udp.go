@@ -1,0 +1,248 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// The UDP substrate emulates per-group multicast membership with explicit
+// subscribe/unsubscribe datagrams (a stand-in for IGMP): a client sends
+// "SUB\x01<layer>" / "SUB\x00<layer>" to the server's data port, and the
+// server unicasts each layer's packets to the addresses subscribed to it.
+
+// UDPServer owns the data socket and the per-layer subscriber sets.
+type UDPServer struct {
+	conn   *net.UDPConn
+	layers int
+	mu     sync.Mutex
+	subs   []map[string]*net.UDPAddr // per layer
+	done   chan struct{}
+}
+
+// NewUDPServer listens on addr (e.g. "127.0.0.1:0") and serves `layers`
+// groups.
+func NewUDPServer(addr string, layers int) (*UDPServer, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, err
+	}
+	s := &UDPServer{conn: conn, layers: layers, done: make(chan struct{})}
+	s.subs = make([]map[string]*net.UDPAddr, layers)
+	for i := range s.subs {
+		s.subs[i] = make(map[string]*net.UDPAddr)
+	}
+	go s.membershipLoop()
+	return s, nil
+}
+
+// Addr returns the data socket address.
+func (s *UDPServer) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
+
+func (s *UDPServer) membershipLoop() {
+	buf := make([]byte, 64)
+	for {
+		n, from, err := s.conn.ReadFromUDP(buf)
+		if err != nil {
+			select {
+			case <-s.done:
+				return
+			default:
+				continue
+			}
+		}
+		if n >= 5 && string(buf[:3]) == "SUB" {
+			join := buf[3] == 1
+			layer := int(buf[4])
+			if layer < 0 || layer >= s.layers {
+				continue
+			}
+			s.mu.Lock()
+			if join {
+				s.subs[layer][from.String()] = from
+			} else {
+				delete(s.subs[layer], from.String())
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Send unicasts pkt to every subscriber of the layer.
+func (s *UDPServer) Send(layer int, pkt []byte) error {
+	if layer < 0 || layer >= s.layers {
+		return fmt.Errorf("transport: layer %d out of range", layer)
+	}
+	s.mu.Lock()
+	addrs := make([]*net.UDPAddr, 0, len(s.subs[layer]))
+	for _, a := range s.subs[layer] {
+		addrs = append(addrs, a)
+	}
+	s.mu.Unlock()
+	for _, a := range addrs {
+		if _, err := s.conn.WriteToUDP(pkt, a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Subscribers returns the subscriber count of a layer.
+func (s *UDPServer) Subscribers(layer int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if layer < 0 || layer >= s.layers {
+		return 0
+	}
+	return len(s.subs[layer])
+}
+
+// Close shuts the socket down.
+func (s *UDPServer) Close() error {
+	close(s.done)
+	return s.conn.Close()
+}
+
+// UDPClient is the receiver side of the UDP substrate.
+type UDPClient struct {
+	conn   *net.UDPConn
+	server *net.UDPAddr
+	mu     sync.Mutex
+	level  int
+	closed bool
+}
+
+// NewUDPClient dials the server's data port and subscribes to layers
+// 0..level.
+func NewUDPClient(server *net.UDPAddr, level int) (*UDPClient, error) {
+	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, err
+	}
+	c := &UDPClient{conn: conn, server: server, level: -1}
+	if err := c.SetLevel(level); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+func (c *UDPClient) sendSub(layer int, join bool) error {
+	b := []byte{'S', 'U', 'B', 0, byte(layer)}
+	if join {
+		b[3] = 1
+	}
+	_, err := c.conn.WriteToUDP(b, c.server)
+	return err
+}
+
+// SetLevel adjusts the cumulative subscription (joins/leaves the delta).
+func (c *UDPClient) SetLevel(level int) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for l := c.level + 1; l <= level; l++ {
+		if err := c.sendSub(l, true); err != nil {
+			return err
+		}
+	}
+	for l := c.level; l > level; l-- {
+		if err := c.sendSub(l, false); err != nil {
+			return err
+		}
+	}
+	c.level = level
+	return nil
+}
+
+// Level returns the current subscription level.
+func (c *UDPClient) Level() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.level
+}
+
+// Recv blocks for the next packet (with timeout). ok=false on timeout or
+// close.
+func (c *UDPClient) Recv(timeout time.Duration) (pkt []byte, ok bool) {
+	c.conn.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, 65536)
+	n, _, err := c.conn.ReadFromUDP(buf)
+	if err != nil {
+		return nil, false
+	}
+	return buf[:n], true
+}
+
+// Close leaves all groups and closes the socket.
+func (c *UDPClient) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	level := c.level
+	c.mu.Unlock()
+	for l := 0; l <= level; l++ {
+		c.sendSub(l, false)
+	}
+	return c.conn.Close()
+}
+
+// RequestSessionInfo sends a hello to a control address and waits for the
+// session descriptor datagram.
+func RequestSessionInfo(control *net.UDPAddr, hello []byte, timeout time.Duration) ([]byte, error) {
+	conn, err := net.DialUDP("udp", nil, control)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if _, err := conn.Write(hello); err != nil {
+		return nil, err
+	}
+	conn.SetReadDeadline(time.Now().Add(timeout))
+	buf := make([]byte, 4096)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, errors.New("transport: control request timed out")
+	}
+	return buf[:n], nil
+}
+
+// ServeControl answers hello datagrams on addr with the given payload
+// until the returned stop function is called.
+func ServeControl(addr string, isHello func([]byte) bool, reply []byte) (local *net.UDPAddr, stop func(), err error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, nil, err
+	}
+	conn, err := net.ListenUDP("udp", ua)
+	if err != nil {
+		return nil, nil, err
+	}
+	done := make(chan struct{})
+	go func() {
+		buf := make([]byte, 256)
+		for {
+			n, from, err := conn.ReadFromUDP(buf)
+			if err != nil {
+				select {
+				case <-done:
+					return
+				default:
+					continue
+				}
+			}
+			if isHello(buf[:n]) {
+				conn.WriteToUDP(reply, from)
+			}
+		}
+	}()
+	return conn.LocalAddr().(*net.UDPAddr), func() { close(done); conn.Close() }, nil
+}
