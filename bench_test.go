@@ -11,6 +11,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"repro/internal/benchproto"
 	"repro/internal/gf"
 	"repro/internal/netsim"
 	"repro/internal/repro"
@@ -19,13 +20,7 @@ import (
 
 func mkSrc(b *testing.B, k, pl int) [][]byte {
 	b.Helper()
-	rng := rand.New(rand.NewSource(1))
-	out := make([][]byte, k)
-	for i := range out {
-		out[i] = make([]byte, pl)
-		rng.Read(out[i])
-	}
-	return out
+	return benchproto.Source(k, pl)
 }
 
 // BenchmarkTable2Encode measures encoding across the codec family
@@ -49,6 +44,7 @@ func BenchmarkTable2Encode(b *testing.B) {
 			}
 			src := mkSrc(b, k, pl)
 			b.SetBytes(int64(k * pl))
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := codec.Encode(src); err != nil {
@@ -71,21 +67,23 @@ func BenchmarkTable3Decode(b *testing.B) {
 			b.Fatal(err)
 		}
 		b.SetBytes(int64(k * pl))
+		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			d := codec.NewDecoder()
+			// Order generation is off the clock, mirroring cmd/bench, so
+			// both surfaces report the same workload.
+			b.StopTimer()
+			var order []int
 			if tornadoStyle {
-				for _, j := range rng.Perm(codec.N()) {
-					if done, _ := d.Add(j, enc[j]); done {
-						break
-					}
-				}
+				order = benchproto.TornadoOrder(rng, codec.N())
 			} else {
-				for _, j := range rng.Perm(k)[:k/2] {
-					d.Add(j, enc[j])
-				}
-				for _, j := range rng.Perm(k)[:k/2] {
-					d.Add(k+j, enc[k+j])
+				order = benchproto.RSOrder(rng, k)
+			}
+			b.StartTimer()
+			d := codec.NewDecoder()
+			for _, j := range order {
+				if done, _ := d.Add(j, enc[j]); done {
+					break
 				}
 			}
 			if _, err := d.Source(); err != nil {

@@ -1,0 +1,181 @@
+// Command bench runs the codec benchmarks that back the paper's Tables 2-3
+// (encode and decode throughput for Tornado A/B and the two Reed-Solomon
+// baselines) and writes the results as machine-readable JSON, so the
+// performance trajectory can be tracked PR over PR.
+//
+// Usage:
+//
+//	go run ./cmd/bench [-o BENCH_codecs.json] [-k 512] [-pl 1024]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	fountain "repro"
+	"repro/internal/benchproto"
+)
+
+type result struct {
+	Name        string  `json:"name"`
+	Op          string  `json:"op"` // "encode" or "decode"
+	K           int     `json:"k"`
+	N           int     `json:"n"`
+	PacketLen   int     `json:"packet_len"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	MBPerSec    float64 `json:"mb_per_s"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+type report struct {
+	GOOS       string    `json:"goos"`
+	GOARCH     string    `json:"goarch"`
+	GoVersion  string    `json:"go_version"`
+	GOMAXPROCS int       `json:"gomaxprocs"`
+	Time       time.Time `json:"time"`
+	Results    []result  `json:"results"`
+}
+
+func main() {
+	out := flag.String("o", "BENCH_codecs.json", "output JSON path ('-' for stdout)")
+	k := flag.Int("k", 512, "source packets per block")
+	pl := flag.Int("pl", 1024, "packet length in bytes")
+	flag.Parse()
+
+	kk, ppl := *k, *pl
+	codecs := []struct {
+		name string
+		mk   func() (fountain.Codec, error)
+	}{
+		{"rs-vandermonde", func() (fountain.Codec, error) { return fountain.NewVandermonde(kk, 2*kk, ppl) }},
+		{"rs-cauchy", func() (fountain.Codec, error) { return fountain.NewCauchy(kk, 2*kk, ppl) }},
+		{"tornado-a", func() (fountain.Codec, error) { return fountain.NewTornado(fountain.TornadoA(), kk, 2*kk, ppl, 1) }},
+		{"tornado-b", func() (fountain.Codec, error) { return fountain.NewTornado(fountain.TornadoB(), kk, 2*kk, ppl, 1) }},
+	}
+
+	rep := report{
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Time:       time.Now().UTC(),
+	}
+	for _, c := range codecs {
+		codec, err := c.mk()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s: %v\n", c.name, err)
+			os.Exit(1)
+		}
+		src := benchproto.Source(kk, ppl)
+		enc, err := codec.Encode(src)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: %s encode: %v\n", c.name, err)
+			os.Exit(1)
+		}
+		tornadoStyle := false
+		switch c.name {
+		case "tornado-a", "tornado-b":
+			tornadoStyle = true
+		}
+
+		encRes := runBench(kk*ppl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := codec.Encode(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		encRes.Name, encRes.Op = c.name, "encode"
+		encRes.K, encRes.N, encRes.PacketLen = kk, codec.N(), ppl
+		rep.Results = append(rep.Results, encRes)
+
+		rng := rand.New(rand.NewSource(2))
+		decRes := runBench(kk*ppl, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				// Packet-order generation is not the decoder's work: keep
+				// it off the clock and out of the allocation accounting.
+				b.StopTimer()
+				var order []int
+				if tornadoStyle {
+					order = benchproto.TornadoOrder(rng, codec.N())
+				} else {
+					order = benchproto.RSOrder(rng, kk)
+				}
+				b.StartTimer()
+				d := codec.NewDecoder()
+				for _, j := range order {
+					done, err := d.Add(j, enc[j])
+					if err != nil {
+						b.Fatal(err)
+					}
+					if done {
+						break
+					}
+				}
+				if _, err := d.Source(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		decRes.Name, decRes.Op = c.name, "decode"
+		decRes.K, decRes.N, decRes.PacketLen = kk, codec.N(), ppl
+		rep.Results = append(rep.Results, decRes)
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	buf = append(buf, '\n')
+	if *out == "-" {
+		os.Stdout.Write(buf)
+		return
+	}
+	if err := os.WriteFile(*out, buf, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: write: %v\n", err)
+		os.Exit(1)
+	}
+	for _, r := range rep.Results {
+		fmt.Printf("%-16s %-7s %12.0f ns/op %9.2f MB/s %10d B/op %7d allocs/op\n",
+			r.Name, r.Op, r.NsPerOp, r.MBPerSec, r.BytesPerOp, r.AllocsPerOp)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}
+
+// runBench wraps testing.Benchmark (which scales iterations to ~1s of
+// measured time) with byte-rate accounting.
+func runBench(bytesPerOp int, fn func(b *testing.B)) result {
+	r := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(int64(bytesPerOp))
+		b.ReportAllocs()
+		fn(b)
+	})
+	if r.N == 0 {
+		// testing.Benchmark returns the zero result when the benchmark
+		// body b.Fatals; writing zero metrics would silently corrupt the
+		// trajectory file.
+		fmt.Fprintln(os.Stderr, "bench: benchmark failed (zero iterations)")
+		os.Exit(1)
+	}
+	ns := float64(r.T.Nanoseconds()) / float64(r.N)
+	mbps := 0.0
+	if r.T > 0 {
+		mbps = float64(bytesPerOp) * float64(r.N) / r.T.Seconds() / 1e6
+	}
+	return result{
+		Iterations:  r.N,
+		NsPerOp:     ns,
+		MBPerSec:    mbps,
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}

@@ -1,0 +1,37 @@
+// Package benchproto holds the reception protocol of the paper's Table 2-3
+// benchmarks, shared by the Go benchmarks (bench_test.go) and the JSON
+// trajectory tool (cmd/bench) so the two always measure the same workload.
+package benchproto
+
+import "math/rand"
+
+// Source returns k deterministic pseudo-random packets of pl bytes (the
+// benchmark corpus; seed 1 matches the historical bench_test fixtures).
+func Source(k, pl int) [][]byte {
+	rng := rand.New(rand.NewSource(1))
+	out := make([][]byte, k)
+	for i := range out {
+		out[i] = make([]byte, pl)
+		rng.Read(out[i])
+	}
+	return out
+}
+
+// TornadoOrder is the Table 3 reception for Tornado codes: a uniformly
+// random order over all n encoding packets (the decoder stops early at
+// Done).
+func TornadoOrder(rng *rand.Rand, n int) []int {
+	return rng.Perm(n)
+}
+
+// RSOrder is the Table 3 reception for the MDS Reed-Solomon baselines:
+// k/2 random source packets topped up to k with random repair packets
+// (any k of n recover the source; works for odd k too).
+func RSOrder(rng *rand.Rand, k int) []int {
+	order := make([]int, 0, k)
+	order = append(order, rng.Perm(k)[:k/2]...)
+	for _, j := range rng.Perm(k)[:k-k/2] {
+		order = append(order, k+j)
+	}
+	return order
+}

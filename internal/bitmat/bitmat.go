@@ -36,6 +36,40 @@ func New(rows, cols int) *Matrix {
 // Row returns the packed words of row r (a live view, not a copy).
 func (m *Matrix) Row(r int) []uint64 { return m.data[r*m.words : (r+1)*m.words] }
 
+// Reset reshapes m to a zero rows x cols matrix, reusing the backing
+// storage when it is large enough. It lets hot paths (the Tornado decoder's
+// repeated elimination attempts) rebuild systems without allocating.
+func (m *Matrix) Reset(rows, cols int) {
+	if rows < 0 || cols < 0 {
+		panic("bitmat: negative dimension")
+	}
+	w := (cols + 63) / 64
+	n := rows * w
+	if cap(m.data) < n {
+		m.data = make([]uint64, n)
+	} else {
+		m.data = m.data[:n]
+		clear(m.data)
+	}
+	m.RowsN, m.ColsN, m.words = rows, cols, w
+}
+
+// CopyFrom makes m an exact copy of src, reusing m's backing storage when
+// possible.
+func (m *Matrix) CopyFrom(src *Matrix) {
+	m.Reset(src.RowsN, src.ColsN)
+	copy(m.data, src.data)
+}
+
+// RankDestructive computes the rank of m, destroying its contents in the
+// process. Unlike Rank it performs no allocation, which is what the
+// Tornado decoder's rank precheck needs: it tests solvability on a scratch
+// copy before committing the payload right-hand sides to an in-place
+// elimination.
+func (m *Matrix) RankDestructive() int {
+	return rankFrom(m, 0, 0)
+}
+
 // Get reports bit (r, c).
 func (m *Matrix) Get(r, c int) bool {
 	return m.data[r*m.words+c/64]&(1<<(uint(c)%64)) != 0

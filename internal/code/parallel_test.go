@@ -1,0 +1,40 @@
+package code
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestParallelChunksCoversRangeExactly(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		hits := make([]int32, n)
+		ParallelChunks(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo > hi {
+				t.Errorf("n=%d: bad chunk [%d,%d)", n, lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&hits[i], 1)
+			}
+		})
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times, want 1", n, i, h)
+			}
+		}
+	}
+}
+
+func TestParallelChunksUsesMultipleWorkers(t *testing.T) {
+	if runtime.GOMAXPROCS(0) == 1 {
+		t.Skip("single-proc environment: pool runs inline")
+	}
+	var workers int32
+	ParallelChunks(1000, func(lo, hi int) {
+		atomic.AddInt32(&workers, 1)
+	})
+	if workers < 2 {
+		t.Fatalf("expected multiple chunks, got %d", workers)
+	}
+}

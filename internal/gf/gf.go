@@ -8,7 +8,10 @@
 // factor 2) needs k+l = 32768 distinct code symbols, which exceeds GF(2^8).
 package gf
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // Standard primitive polynomials. These match the polynomials used by the
 // reference implementations the paper benchmarks (Rizzo's fec uses 0x1100B
@@ -30,6 +33,17 @@ type Field struct {
 	// exp has length 2n so that exp[log[a]+log[b]] avoids a modulo.
 	log []uint32
 	exp []uint32
+
+	// tabs memoizes the split multiplication tables of GF(2^16), one entry
+	// per coefficient, built lazily on first use (see MulTab). Rebuilding a
+	// table costs about as much as multiplying a whole packet, so the
+	// Reed-Solomon codecs — which revisit the same matrix coefficients for
+	// every packet — would otherwise spend half their time here. nil for
+	// widths other than 16. Worst-case footprint is 64 MiB (65536 tables of
+	// 1 KiB), reached only if every field element is ever used as a
+	// coefficient; the fields are process-wide singletons, so the cache is
+	// shared by all codecs.
+	tabs []atomic.Pointer[MulTab16]
 }
 
 var (
@@ -73,6 +87,9 @@ func NewField(w uint, poly uint32) (*Field, error) {
 	// Duplicate the exp table so exp[i+j] is valid for i,j < n-1.
 	for i := f.n - 1; i < 2*f.n; i++ {
 		f.exp[i] = f.exp[i-(f.n-1)]
+	}
+	if w == 16 {
+		f.tabs = make([]atomic.Pointer[MulTab16], f.n)
 	}
 	return f, nil
 }
@@ -125,10 +142,14 @@ func (f *Field) Inv(a uint32) uint32 {
 	return f.exp[uint32(f.n)-1-f.log[a]]
 }
 
-// Exp returns the generator raised to the power i (i may be any
-// non-negative integer).
+// Exp returns the generator raised to the power i. Negative exponents are
+// interpreted in the multiplicative group: Exp(-i) == Inv(Exp(i)).
 func (f *Field) Exp(i int) uint32 {
-	return f.exp[i%(f.n-1)]
+	m := i % (f.n - 1)
+	if m < 0 {
+		m += f.n - 1
+	}
+	return f.exp[m]
 }
 
 // Log returns the discrete logarithm of a. It panics if a == 0.

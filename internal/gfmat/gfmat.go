@@ -130,6 +130,14 @@ func (m *Matrix) Invert() (*Matrix, error) {
 	f := m.F
 	a := m.Clone()
 	inv := Identity(f, n)
+	// Elimination coefficients are essentially one-shot (random pivots and
+	// factors), so over GF(2^16) the row ops build split tables into this
+	// scratch instead of the field's permanent memoizing cache — caching
+	// them would pin up to 64 MiB of tables that are never reused.
+	var tab *gf.MulTab16
+	if f.Width() == 16 {
+		tab = new(gf.MulTab16)
+	}
 	for col := 0; col < n; col++ {
 		// Find pivot.
 		pivot := -1
@@ -150,8 +158,11 @@ func (m *Matrix) Invert() (*Matrix, error) {
 		pv := a.At(col, col)
 		if pv != 1 {
 			ipv := f.Inv(pv)
-			scaleRow(f, a.Row(col), ipv)
-			scaleRow(f, inv.Row(col), ipv)
+			if tab != nil {
+				f.MulTabInto(ipv, tab)
+			}
+			scaleRow(f, tab, a.Row(col), ipv)
+			scaleRow(f, tab, inv.Row(col), ipv)
 		}
 		// Eliminate the column from every other row.
 		for r := 0; r < n; r++ {
@@ -162,8 +173,11 @@ func (m *Matrix) Invert() (*Matrix, error) {
 			if c == 0 {
 				continue
 			}
-			addScaledRow(f, a.Row(r), a.Row(col), c)
-			addScaledRow(f, inv.Row(r), inv.Row(col), c)
+			if tab != nil {
+				f.MulTabInto(c, tab)
+			}
+			addScaledRow(f, tab, a.Row(r), a.Row(col), c)
+			addScaledRow(f, tab, inv.Row(r), inv.Row(col), c)
 		}
 	}
 	return inv, nil
@@ -185,7 +199,21 @@ func swapRows(m *Matrix, a, b int) {
 	}
 }
 
-func scaleRow(f *gf.Field, row []uint32, c uint32) {
+// scaleRow multiplies a row by the constant c. Over GF(2^16) the caller
+// passes the coefficient's split tables (built into reusable scratch, see
+// Invert) so the table is reused across the whole row — the same
+// coefficient-major shape the packet kernels use — which lowers the
+// constant of the (deliberately) O(k^3) Vandermonde decode. t is nil for
+// other widths.
+func scaleRow(f *gf.Field, t *gf.MulTab16, row []uint32, c uint32) {
+	if t != nil {
+		for i, v := range row {
+			if v != 0 {
+				row[i] = uint32(t.Hi[v>>8] ^ t.Lo[v&0xff])
+			}
+		}
+		return
+	}
 	for i, v := range row {
 		if v != 0 {
 			row[i] = f.Mul(v, c)
@@ -193,7 +221,17 @@ func scaleRow(f *gf.Field, row []uint32, c uint32) {
 	}
 }
 
-func addScaledRow(f *gf.Field, dst, src []uint32, c uint32) {
+// addScaledRow computes dst ^= c * src elementwise, with the same
+// caller-scratch split-table fast path as scaleRow.
+func addScaledRow(f *gf.Field, t *gf.MulTab16, dst, src []uint32, c uint32) {
+	if t != nil {
+		for i, v := range src {
+			if v != 0 {
+				dst[i] ^= uint32(t.Hi[v>>8] ^ t.Lo[v&0xff])
+			}
+		}
+		return
+	}
 	for i, v := range src {
 		if v != 0 {
 			dst[i] ^= f.Mul(v, c)

@@ -2,6 +2,7 @@ package rs
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/code"
 	"repro/internal/gf"
@@ -55,11 +56,76 @@ func (c *Cauchy) coeff(r, j int) uint32 {
 	return c.f.Inv(uint32(c.k+r) ^ uint32(j))
 }
 
+// xorRun is one diagonal run of the bit-matrix of multiplication by a
+// fixed coefficient: XOR m consecutive sub-blocks of src, starting at
+// block si, into the m consecutive dst sub-blocks starting at block di.
+//
+// Diagonal runs exist because column j+1 of the bit matrix is column j
+// doubled: whenever e·2^j stays below the reduction threshold the next
+// column is a pure shift, so set bits continue down the diagonal. Merging
+// them turns many sub-block XORs into one longer XOR, which is where the
+// vectorized XOR kernel earns its width (see the DESIGN.md ablation).
+type xorRun struct{ di, si, m uint8 }
+
+// runCache memoizes the XOR schedule per GF(2^16) coefficient. Cauchy
+// codecs revisit the same coefficients for every packet (the encode matrix
+// at fixed (k, n) uses at most n-1 distinct coefficients), so after warmup
+// apply() does no bit-matrix work at all. The zero coefficient maps to an
+// empty schedule and coefficient 1 is special-cased before lookup.
+var runCache [1 << 16]atomic.Pointer[[]xorRun]
+
+// mulRuns returns the diagonal-run XOR schedule of multiplication by e over
+// GF(2^16), building and caching it on first use (concurrency-safe: racing
+// builders store identical schedules). The cache is valid only for the
+// shared gf.New16() field (schedules depend on the reduction polynomial);
+// foreign fields get an uncached build.
+func mulRuns(f *gf.Field, e uint32) []xorRun {
+	e &= 0xFFFF
+	if f != gf.New16() {
+		return appendRuns(nil, f, e)
+	}
+	if p := runCache[e].Load(); p != nil {
+		return *p
+	}
+	runs := appendRuns(make([]xorRun, 0, 16*16/2), f, e)
+	runCache[e].Store(&runs)
+	return runs
+}
+
+// appendRuns appends the diagonal runs of the bit-matrix of multiplication
+// by e to runs. mulRuns wraps it with the schedule cache; the direct path
+// exists for GF(2^16) fields other than the gf.New16() singleton, whose
+// schedules must not share the cache.
+func appendRuns(runs []xorRun, f *gf.Field, e uint32) []xorRun {
+	const w = 16
+	// cols[j] = e·2^j: column j of the bit matrix.
+	var cols [w]uint32
+	for j := 0; j < w; j++ {
+		cols[j] = f.Mul(e, 1<<uint(j))
+	}
+	bit := func(i, j int) bool { return cols[j]&(1<<uint(i)) != 0 }
+	var seen [w][w]bool
+	for i := 0; i < w; i++ {
+		for j := 0; j < w; j++ {
+			if seen[i][j] || !bit(i, j) {
+				continue
+			}
+			m := 1
+			for i+m < w && j+m < w && bit(i+m, j+m) && !seen[i+m][j+m] {
+				seen[i+m][j+m] = true
+				m++
+			}
+			runs = append(runs, xorRun{di: uint8(i), si: uint8(j), m: uint8(m)})
+		}
+	}
+	return runs
+}
+
 // apply computes dst ^= e (x) src, where (x) is the bit-matrix expansion of
 // multiplication by the field element e acting on w sub-blocks: output
 // sub-block i accumulates input sub-block j whenever bit i of e·2^j is set.
-// The column images e·2^j are computed inline so the hot path allocates
-// nothing.
+// The bit matrix is walked as cached diagonal runs so each schedule entry
+// is one contiguous XOR.
 func (c *Cauchy) apply(e uint32, dst, src []byte) {
 	if e == 0 {
 		return
@@ -68,35 +134,40 @@ func (c *Cauchy) apply(e uint32, dst, src []byte) {
 		gf.XORSlice(dst, src)
 		return
 	}
-	var cols [16]uint32
-	for j := 0; j < c.w; j++ {
-		cols[j] = c.f.Mul(e, 1<<uint(j))
-	}
-	for i := 0; i < c.w; i++ {
-		di := dst[i*c.sub : (i+1)*c.sub]
-		bit := uint32(1) << uint(i)
-		for j := 0; j < c.w; j++ {
-			if cols[j]&bit != 0 {
-				gf.XORSlice(di, src[j*c.sub:(j+1)*c.sub])
-			}
-		}
+	c.applySched(mulRuns(c.f, e), dst, src)
+}
+
+// applySched walks a prebuilt diagonal-run schedule.
+func (c *Cauchy) applySched(sched []xorRun, dst, src []byte) {
+	sub := c.sub
+	for _, r := range sched {
+		n := int(r.m) * sub
+		d := dst[int(r.di)*sub:]
+		s := src[int(r.si)*sub:]
+		gf.XORSlice(d[:n], s[:n])
 	}
 }
 
-// Encode implements code.Codec.
+// Encode implements code.Codec. Repair packets are independent, so they are
+// generated by a GOMAXPROCS-sized worker pool over one shared backing store
+// (the XOR-schedule cache is concurrency-safe).
 func (c *Cauchy) Encode(src [][]byte) ([][]byte, error) {
 	if err := code.CheckSrc(src, c.k, c.packetLen); err != nil {
 		return nil, err
 	}
 	out := make([][]byte, c.n)
 	copy(out, src)
-	for r := 0; r < c.n-c.k; r++ {
-		p := make([]byte, c.packetLen)
-		for j := 0; j < c.k; j++ {
-			c.apply(c.coeff(r, j), p, src[j])
+	nrep := c.n - c.k
+	store := make([]byte, nrep*c.packetLen)
+	code.ParallelChunks(nrep, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			p := store[r*c.packetLen : (r+1)*c.packetLen]
+			for j := 0; j < c.k; j++ {
+				c.apply(c.coeff(r, j), p, src[j])
+			}
+			out[c.k+r] = p
 		}
-		out[c.k+r] = p
-	}
+	})
 	return out, nil
 }
 
@@ -168,17 +239,22 @@ func (d *cauchyDecoder) Source() ([][]byte, error) {
 		return nil, code.ErrNotReady
 	}
 	// Adjusted right-hand sides: b_r = repair_r ^ sum_{known j} C[r][j] (x) src_j.
+	// Each adjustment is independent, so fan out across the pool.
 	b := make([][]byte, len(repairs))
-	for bi, r := range repairs {
-		buf := make([]byte, c.packetLen)
-		copy(buf, d.have[c.k+r])
-		for j := 0; j < c.k; j++ {
-			if src[j] != nil {
-				c.apply(c.coeff(r, j), buf, src[j])
+	bStore := make([]byte, len(repairs)*c.packetLen)
+	code.ParallelChunks(len(repairs), func(lo, hi int) {
+		for bi := lo; bi < hi; bi++ {
+			r := repairs[bi]
+			buf := bStore[bi*c.packetLen : (bi+1)*c.packetLen]
+			copy(buf, d.have[c.k+r])
+			for j := 0; j < c.k; j++ {
+				if src[j] != nil {
+					c.apply(c.coeff(r, j), buf, src[j])
+				}
 			}
+			b[bi] = buf
 		}
-		b[bi] = buf
-	}
+	})
 	// Invert the Cauchy submatrix with points x = k + repairs, y = missing.
 	x := make([]uint32, len(repairs))
 	y := make([]uint32, len(missing))
@@ -192,13 +268,21 @@ func (d *cauchyDecoder) Source() ([][]byte, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rs: cauchy inverse: %w", err)
 	}
-	for mi, j := range missing {
-		p := make([]byte, c.packetLen)
-		for bi := range repairs {
-			c.apply(inv.At(mi, bi), p, b[bi])
+	// Inverse entries do go through the schedule cache even though they are
+	// reception-specific: a schedule is ~250 bytes (vs the 1 KiB split
+	// tables the Vandermonde decoder deliberately keeps out of its cache),
+	// so even the all-coefficients worst case stays in the low MiB while
+	// rebuilding per entry measurably halves reconstruction throughput.
+	mStore := make([]byte, len(missing)*c.packetLen)
+	code.ParallelChunks(len(missing), func(lo, hi int) {
+		for mi := lo; mi < hi; mi++ {
+			p := mStore[mi*c.packetLen : (mi+1)*c.packetLen]
+			for bi := range repairs {
+				c.apply(inv.At(mi, bi), p, b[bi])
+			}
+			src[missing[mi]] = p
 		}
-		src[j] = p
-	}
+	})
 	d.src = src
 	return src, nil
 }

@@ -3,10 +3,12 @@ package rs
 import (
 	"bytes"
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
 
 	"repro/internal/code"
+	"repro/internal/gf"
 )
 
 // Both codecs must satisfy code.Codec.
@@ -265,5 +267,78 @@ func TestDecoderDataIsCopied(t *testing.T) {
 	}
 	if !bytes.Equal(got[1], src[1]) {
 		t.Fatal("decoder aliased caller buffer")
+	}
+}
+
+func TestEncodeConcurrent(t *testing.T) {
+	// One codec, many goroutines encoding at once: exercises the shared
+	// per-coefficient table/schedule caches and the worker pool under -race.
+	rng := rand.New(rand.NewSource(18))
+	for _, mk := range []func() (code.Codec, error){
+		func() (code.Codec, error) { return NewVandermonde(24, 48, 64) },
+		func() (code.Codec, error) { return NewCauchy(24, 48, 64) },
+	} {
+		c, err := mk()
+		if err != nil {
+			t.Fatal(err)
+		}
+		src := randSource(rng, 24, 64)
+		want, err := c.Encode(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				got, err := c.Encode(src)
+				if err != nil {
+					t.Errorf("%s: concurrent encode: %v", c.Name(), err)
+					return
+				}
+				for i := range want {
+					if !bytes.Equal(got[i], want[i]) {
+						t.Errorf("%s: concurrent encode diverges at packet %d", c.Name(), i)
+						return
+					}
+				}
+			}()
+		}
+		wg.Wait()
+	}
+}
+
+func TestCauchyScheduleMatchesBitMatrix(t *testing.T) {
+	// The cached diagonal-run schedule must cover exactly the set bits of
+	// the multiplication bit-matrix, each exactly once.
+	f := gf.New16()
+	rng := rand.New(rand.NewSource(19))
+	for trial := 0; trial < 200; trial++ {
+		e := uint32(2 + rng.Intn(1<<16-2))
+		var want [16][16]bool
+		for j := 0; j < 16; j++ {
+			col := f.Mul(e, 1<<uint(j))
+			for i := 0; i < 16; i++ {
+				want[i][j] = col&(1<<uint(i)) != 0
+			}
+		}
+		var got [16][16]int
+		for _, r := range mulRuns(f, e) {
+			for m := 0; m < int(r.m); m++ {
+				got[int(r.di)+m][int(r.si)+m]++
+			}
+		}
+		for i := 0; i < 16; i++ {
+			for j := 0; j < 16; j++ {
+				w := 0
+				if want[i][j] {
+					w = 1
+				}
+				if got[i][j] != w {
+					t.Fatalf("e=%#x: bit (%d,%d) covered %d times, want %d", e, i, j, got[i][j], w)
+				}
+			}
+		}
 	}
 }

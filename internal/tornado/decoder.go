@@ -11,19 +11,35 @@ import (
 // the dense tail when propagation stalls, so Done() flips exactly at the
 // packet that makes the source recoverable — the property the paper uses
 // to let a receiver leave the multicast session as early as possible.
+//
+// Memory discipline: every packet-sized buffer comes from a slab arena and
+// is recycled through a free list, mirroring Encode's one-allocation store.
+// Each check carries at most ONE buffer — the residual rhs[ci] = value of
+// the check (once known) XOR the sum of its known neighbors — instead of
+// the classic value+accumulator pair. The residual is exactly the payload
+// of the check's last unknown neighbor once cnt reaches 1, so rule (a)
+// recoveries transfer buffer ownership instead of allocating, and the
+// elimination fallback solves in place on the live residuals (after a
+// matrix-only rank precheck) so its solutions are transfers too. Steady
+// state decoding therefore allocates nothing per packet and nothing per
+// elimination retry.
 type decoder struct {
 	c *Codec
 
-	data      [][]byte // per value id; nil while unknown
+	data      [][]byte // per value id; nil while unknown (arena-owned)
 	gotPacket []bool   // per packet index, for duplicate suppression
 	received  int
 	srcLeft   int
 	knownVals int // total known values, for cheap residual gating
 
-	// Per-check state.
-	acc []([]byte) // XOR of known neighbors (nil until first contribution)
-	cnt []int32    // number of unknown neighbors
-	val [][]byte   // check value; nil while unknown
+	// Per-check state. Invariant: rhs[ci] != nil iff valKnown[ci] &&
+	// !dead[ci] && cnt[ci] > 0. A dead check's equation has been consumed
+	// (its last unknown recovered, its residual transferred to a value, or
+	// its value confirmed redundant) and is skipped everywhere.
+	rhs      [][]byte // residual: check value ^ XOR of known neighbors
+	valKnown []bool   // check value known (packet received or cascade value set)
+	cnt      []int32  // number of unknown neighbors
+	dead     []bool   // equation consumed; rhs recycled
 
 	queue []int32
 
@@ -33,6 +49,19 @@ type decoder struct {
 	// reacting quickly once a core becomes solvable.
 	retryAt     []int // per scope, in units of received packets
 	residualCap int
+
+	// Buffer arena: packet-sized allocations carved from slabs, recycled
+	// via free.
+	slab []byte
+	free [][]byte
+
+	// trySolve scratch, reused across attempts so elimination retries
+	// allocate nothing.
+	unknownsBuf []int32
+	eqsBuf      []int32
+	colBuf      []int32 // scope-relative column map; kept all -1 at rest
+	matA, matB  bitmat.Matrix
+	solveRHS    [][]byte
 }
 
 func newDecoder(c *Codec) *decoder {
@@ -50,9 +79,10 @@ func newDecoder(c *Codec) *decoder {
 		data:        make([][]byte, c.numValues),
 		gotPacket:   make([]bool, c.n),
 		srcLeft:     c.k,
-		acc:         make([][]byte, len(c.checkNeighbors)),
+		rhs:         make([][]byte, len(c.checkNeighbors)),
+		valKnown:    make([]bool, len(c.checkNeighbors)),
 		cnt:         make([]int32, len(c.checkNeighbors)),
-		val:         make([][]byte, len(c.checkNeighbors)),
+		dead:        make([]bool, len(c.checkNeighbors)),
 		retryAt:     make([]int, len(c.scopes)),
 		residualCap: cap,
 	}
@@ -61,6 +91,32 @@ func newDecoder(c *Codec) *decoder {
 	}
 	return d
 }
+
+// alloc hands out one packet-sized buffer from the free list or the current
+// slab (growing the slab when exhausted). Buffers may hold stale bytes:
+// every use either copies into them first or clears them explicitly.
+func (d *decoder) alloc() []byte {
+	if n := len(d.free); n > 0 {
+		b := d.free[n-1]
+		d.free = d.free[:n-1]
+		return b
+	}
+	pl := d.c.packetLen
+	if len(d.slab) < pl {
+		n := 16 * pl
+		const minSlab = 16 << 10
+		if n < minSlab {
+			n = (minSlab + pl - 1) / pl * pl
+		}
+		d.slab = make([]byte, n)
+	}
+	b := d.slab[:pl:pl]
+	d.slab = d.slab[pl:]
+	return b
+}
+
+// release returns an arena buffer to the free list.
+func (d *decoder) release(b []byte) { d.free = append(d.free, b) }
 
 // Add implements code.Decoder.
 func (d *decoder) Add(i int, data []byte) (bool, error) {
@@ -75,20 +131,45 @@ func (d *decoder) Add(i int, data []byte) (bool, error) {
 	}
 	d.gotPacket[i] = true
 	d.received++
-	buf := make([]byte, len(data))
-	copy(buf, data)
 	if i < d.c.numValues {
-		d.setValue(int32(i), buf)
+		if d.data[i] == nil {
+			buf := d.alloc()
+			copy(buf, data)
+			d.setValue(int32(i), buf)
+		}
 	} else {
 		ci := d.c.denseStart + (i - d.c.numValues)
-		if d.val[ci] == nil {
-			d.val[ci] = buf
-			d.queue = append(d.queue, int32(ci))
-		}
+		d.checkValArrived(ci, data)
 	}
 	d.drain()
 	d.sweepScopes()
 	return d.Done(), nil
+}
+
+// checkValArrived records that check ci's value is val (copied, not
+// retained): the residual starts as the value and has every already-known
+// neighbor folded in. A check whose neighbors are all known carries no
+// information and dies immediately.
+func (d *decoder) checkValArrived(ci int, val []byte) {
+	if d.dead[ci] || d.valKnown[ci] {
+		return
+	}
+	d.valKnown[ci] = true
+	if d.cnt[ci] == 0 {
+		d.dead[ci] = true
+		return
+	}
+	buf := d.alloc()
+	copy(buf, val)
+	for _, v := range d.c.checkNeighbors[ci] {
+		if p := d.data[v]; p != nil {
+			gf.XORSlice(buf, p)
+		}
+	}
+	d.rhs[ci] = buf
+	if d.cnt[ci] == 1 {
+		d.queue = append(d.queue, int32(ci))
+	}
 }
 
 // sweepScopes repeatedly attempts per-level eliminations, deepest scope
@@ -119,10 +200,11 @@ func (d *decoder) Source() ([][]byte, error) {
 	return d.data[:d.c.k], nil
 }
 
-// setValue marks value v known with payload buf (ownership transfers) and
-// propagates it into every check that uses it.
+// setValue marks value v known with the arena-owned payload buf (ownership
+// transfers to the decoder) and folds it into every check that uses it.
 func (d *decoder) setValue(v int32, buf []byte) {
 	if d.data[v] != nil {
+		d.release(buf)
 		return
 	}
 	d.data[v] = buf
@@ -130,22 +212,33 @@ func (d *decoder) setValue(v int32, buf []byte) {
 	if int(v) < d.c.k {
 		d.srcLeft--
 	}
-	// The value is itself the output of a cascade check: its check now has
-	// a known value.
+	// The value is itself the output of a cascade check: that check's value
+	// is now known.
 	if int(v) >= d.c.k {
-		ci := int32(int(v) - d.c.k)
-		if d.val[ci] == nil {
-			d.val[ci] = buf
-			d.queue = append(d.queue, ci)
-		}
+		d.checkValArrived(int(v)-d.c.k, buf)
 	}
 	for _, ci := range d.c.valueChecks[v] {
-		if d.acc[ci] == nil {
-			d.acc[ci] = make([]byte, d.c.packetLen)
+		if d.dead[ci] {
+			continue
 		}
-		gf.XORSlice(d.acc[ci], buf)
 		d.cnt[ci]--
-		d.queue = append(d.queue, ci)
+		if d.valKnown[ci] {
+			gf.XORSlice(d.rhs[ci], buf)
+			if d.cnt[ci] == 0 {
+				// Residual is now zero: the equation is spent.
+				d.release(d.rhs[ci])
+				d.rhs[ci] = nil
+				d.dead[ci] = true
+			} else if d.cnt[ci] == 1 {
+				d.queue = append(d.queue, ci)
+			}
+		} else if d.cnt[ci] == 0 {
+			if own := d.c.checkOwn[ci]; own >= 0 && d.data[own] == nil {
+				d.queue = append(d.queue, ci)
+			} else {
+				d.dead[ci] = true
+			}
+		}
 	}
 }
 
@@ -154,9 +247,13 @@ func (d *decoder) drain() {
 	for len(d.queue) > 0 && !d.Done() {
 		ci := d.queue[len(d.queue)-1]
 		d.queue = d.queue[:len(d.queue)-1]
+		if d.dead[ci] {
+			continue
+		}
 		switch {
-		case d.cnt[ci] == 1 && d.val[ci] != nil:
-			// Rule (a): recover the single unknown neighbor.
+		case d.valKnown[ci] && d.cnt[ci] == 1:
+			// Rule (a): the residual IS the single unknown neighbor's
+			// payload — hand the buffer over instead of copying.
 			var unknown int32 = -1
 			for _, v := range d.c.checkNeighbors[ci] {
 				if d.data[v] == nil {
@@ -167,21 +264,28 @@ func (d *decoder) drain() {
 			if unknown < 0 {
 				continue // stale queue entry
 			}
-			buf := make([]byte, d.c.packetLen)
-			copy(buf, d.val[ci])
-			if d.acc[ci] != nil {
-				gf.XORSlice(buf, d.acc[ci])
-			}
+			buf := d.rhs[ci]
+			d.rhs[ci] = nil
+			d.dead[ci] = true
 			d.setValue(unknown, buf)
-		case d.cnt[ci] == 0 && d.val[ci] == nil:
-			// Rule (b): all inputs known; the check's value is acc.
-			v := d.acc[ci]
-			if v == nil {
-				v = make([]byte, d.c.packetLen) // zero-degree check
-			}
-			d.val[ci] = v
-			if own := d.c.checkOwn[ci]; own >= 0 && d.data[own] == nil {
-				d.setValue(own, v)
+		case !d.valKnown[ci] && d.cnt[ci] == 0:
+			// Rule (b): all inputs known; the check's value is their XOR,
+			// which is also the cascade value it computes.
+			own := d.c.checkOwn[ci]
+			d.valKnown[ci] = true
+			d.dead[ci] = true
+			if own >= 0 && d.data[own] == nil {
+				buf := d.alloc()
+				ns := d.c.checkNeighbors[ci]
+				if len(ns) == 0 {
+					clear(buf)
+				} else {
+					copy(buf, d.data[ns[0]])
+					for _, v := range ns[1:] {
+						gf.XORSlice(buf, d.data[v])
+					}
+				}
+				d.setValue(own, buf)
 			}
 		}
 	}
@@ -197,19 +301,23 @@ func (d *decoder) drain() {
 // The attempt is skipped while the unknown count exceeds residualCap
 // (bounding elimination cost) and, after a rank-deficient attempt, until
 // enough new information has arrived to plausibly close the rank gap.
-// It reports whether it recovered anything.
+// Solvability is established first on a matrix-only scratch copy (no
+// payload work); only a certain success eliminates in place on the live
+// residuals, whose buffers then BECOME the recovered values. All scratch
+// is reused across attempts. It reports whether it recovered anything.
 func (d *decoder) trySolve(si int) bool {
 	if d.received < d.retryAt[si] {
 		return false
 	}
 	c := d.c
 	sc := c.scopes[si]
-	var unknowns []int32
+	unknowns := d.unknownsBuf[:0]
 	for v := sc.valOff; v < sc.valOff+sc.valLen; v++ {
 		if d.data[v] == nil {
 			unknowns = append(unknowns, int32(v))
 		}
 	}
+	d.unknownsBuf = unknowns
 	if len(unknowns) == 0 {
 		d.retryAt[si] = d.received + 1
 		return false
@@ -218,12 +326,13 @@ func (d *decoder) trySolve(si int) bool {
 		d.retryAt[si] = d.received + (len(unknowns)-d.residualCap+3)/4
 		return false
 	}
-	var eqs []int
+	eqs := d.eqsBuf[:0]
 	for ci := sc.checkOff; ci < sc.checkOff+sc.checkLen; ci++ {
-		if d.val[ci] != nil && d.cnt[ci] > 0 {
-			eqs = append(eqs, ci)
+		if d.valKnown[ci] && !d.dead[ci] && d.cnt[ci] > 0 {
+			eqs = append(eqs, int32(ci))
 		}
 	}
+	d.eqsBuf = eqs
 	if len(eqs) < len(unknowns) {
 		d.retryAt[si] = d.received + (len(unknowns)-len(eqs)+3)/4
 		return false
@@ -234,33 +343,56 @@ func (d *decoder) trySolve(si int) bool {
 	if len(eqs) > maxEqs {
 		eqs = eqs[:maxEqs]
 	}
-	col := make(map[int32]int, len(unknowns))
-	for i, v := range unknowns {
-		col[v] = i
-	}
-	a := bitmat.New(len(eqs), len(unknowns))
-	rhs := make([][]byte, len(eqs))
-	for r, ci := range eqs {
-		buf := make([]byte, c.packetLen)
-		copy(buf, d.val[ci])
-		if d.acc[ci] != nil {
-			gf.XORSlice(buf, d.acc[ci])
+	// Scope-relative column map (kept all -1 at rest, restored below).
+	if len(d.colBuf) < sc.valLen {
+		d.colBuf = make([]int32, sc.valLen)
+		for i := range d.colBuf {
+			d.colBuf[i] = -1
 		}
-		rhs[r] = buf
+	}
+	col := d.colBuf
+	for j, v := range unknowns {
+		col[int(v)-sc.valOff] = int32(j)
+	}
+	d.matA.Reset(len(eqs), len(unknowns))
+	for r, ci := range eqs {
 		for _, v := range c.checkNeighbors[ci] {
-			if j, ok := col[v]; ok {
-				a.Set(r, j, true)
+			rel := int(v) - sc.valOff
+			if rel >= 0 && rel < sc.valLen && col[rel] >= 0 {
+				d.matA.Set(r, int(col[rel]), true)
 			}
 		}
 	}
-	sol, rank, ok := bitmat.TrySolve(a, rhs)
-	if !ok {
+	for _, v := range unknowns {
+		col[int(v)-sc.valOff] = -1
+	}
+	// Matrix-only rank precheck on a scratch copy: a failed attempt costs
+	// no payload XORs and leaves the live residuals untouched.
+	d.matB.CopyFrom(&d.matA)
+	if rank := d.matB.RankDestructive(); rank < len(unknowns) {
 		gap := (len(unknowns) - rank + 3) / 4
 		if gap < 1 {
 			gap = 1
 		}
 		d.retryAt[si] = d.received + gap
 		return false
+	}
+	// Full rank is certain: eliminate in place on the live residuals. The
+	// used equations are consumed wholesale (every scope value they touch
+	// is about to become known), so retire them and transfer their buffers.
+	rhs := d.solveRHS[:0]
+	for _, ci := range eqs {
+		rhs = append(rhs, d.rhs[ci])
+		d.rhs[ci] = nil
+		d.dead[ci] = true
+	}
+	d.solveRHS = rhs
+	sol, _, ok := bitmat.TrySolve(&d.matA, rhs)
+	if !ok {
+		panic("tornado: elimination failed after full-rank precheck")
+	}
+	for _, b := range rhs[len(unknowns):] {
+		d.release(b)
 	}
 	for i, v := range unknowns {
 		d.setValue(v, sol[i])

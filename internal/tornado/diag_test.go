@@ -52,9 +52,9 @@ func TestDiagStall(t *testing.T) {
 		eqAvail, eqUsable := 0, 0
 		minCnt, maxCnt := int32(1<<30), int32(-1)
 		for ci := sc.checkOff; ci < sc.checkOff+sc.checkLen; ci++ {
-			if d.val[ci] != nil {
+			if d.valKnown[ci] {
 				eqAvail++
-				if d.cnt[ci] > 0 {
+				if !d.dead[ci] && d.cnt[ci] > 0 {
 					eqUsable++
 				}
 			}
