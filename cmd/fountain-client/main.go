@@ -1,12 +1,17 @@
-// Command fountain-client downloads a file from a fountain server over
-// UDP: it fetches the session descriptor from the control socket,
-// subscribes to the data layers, adapts its subscription level at
-// synchronization points, and writes the reconstructed file once the
-// decoder reports completion.
+// Command fountain-client downloads files from a fountain service over
+// UDP: it discovers sessions via the control socket's catalog, subscribes
+// to the data layers of the chosen session(s), adapts its subscription
+// level at synchronization points, and writes each reconstructed file once
+// its decoder reports completion.
 //
 // Usage:
 //
-//	fountain-client -control 127.0.0.1:9001 -data 127.0.0.1:9000 -out copy.bin -level 1
+//	fountain-client -control 127.0.0.1:9001 -data 127.0.0.1:9000 -list
+//	fountain-client -control ... -data ... -session 0xDF98 -out copy.bin
+//	fountain-client -control ... -data ... -all -out download
+//
+// With neither -session nor -all, the server's default (lowest-id) session
+// is fetched, as the one-session prototype did.
 package main
 
 import (
@@ -15,6 +20,8 @@ import (
 	"log"
 	"net"
 	"os"
+	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/client"
@@ -26,19 +33,89 @@ func main() {
 	var (
 		ctrlAddr = flag.String("control", "127.0.0.1:9001", "server control address")
 		dataAddr = flag.String("data", "127.0.0.1:9000", "server data address")
-		out      = flag.String("out", "download.bin", "output file")
+		out      = flag.String("out", "download.bin", "output file (suffixed with the session id under -all)")
 		level    = flag.Int("level", 0, "initial subscription level")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "give up after this long")
+		sessArg  = flag.String("session", "", "session id to fetch (e.g. 0xDF98); empty = server default")
+		all      = flag.Bool("all", false, "fetch every session in the catalog concurrently")
+		list     = flag.Bool("list", false, "print the catalog and exit")
 	)
 	flag.Parse()
 
+	if *all && *sessArg != "" {
+		log.Fatal("fountain-client: -all and -session are mutually exclusive")
+	}
 	ctrl, err := net.ResolveUDPAddr("udp", *ctrlAddr)
 	if err != nil {
 		log.Fatal(err)
 	}
-	reply, err := transport.RequestSessionInfo(ctrl, proto.MarshalHello(), 5*time.Second)
+	data, err := net.ResolveUDPAddr("udp", *dataAddr)
 	if err != nil {
 		log.Fatal(err)
+	}
+
+	if *list || *all {
+		reply, err := transport.RequestSessionInfo(ctrl, proto.MarshalCatalogRequest(), 5*time.Second)
+		if err != nil {
+			log.Fatal(err)
+		}
+		catalog, err := proto.ParseCatalog(reply)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *list {
+			fmt.Printf("fountain-client: %d sessions\n", len(catalog))
+			for _, info := range catalog {
+				fmt.Printf("  session %#04x codec=%d k=%d n=%d layers=%d rate=%d file=%d bytes\n",
+					info.Session, info.Codec, info.K, info.N, info.Layers, info.BaseRate, info.FileLen)
+			}
+			return
+		}
+		if len(catalog) == 0 {
+			log.Fatal("fountain-client: catalog is empty")
+		}
+		var wg sync.WaitGroup
+		failed := make(chan error, len(catalog))
+		for _, info := range catalog {
+			wg.Add(1)
+			go func(info proto.SessionInfo) {
+				defer wg.Done()
+				name := fmt.Sprintf("%s.%04x", *out, info.Session)
+				if err := download(info, data, name, *level, *timeout); err != nil {
+					failed <- fmt.Errorf("session %#x: %w", info.Session, err)
+				}
+			}(info)
+		}
+		wg.Wait()
+		close(failed)
+		nfail := 0
+		for err := range failed {
+			log.Print(err)
+			nfail++
+		}
+		if nfail > 0 {
+			log.Fatalf("fountain-client: %d of %d sessions failed", nfail, len(catalog))
+		}
+		return
+	}
+
+	hello := proto.MarshalHello()
+	if *sessArg != "" {
+		id, err := strconv.ParseUint(*sessArg, 0, 16)
+		if err != nil {
+			log.Fatalf("fountain-client: bad -session %q: %v", *sessArg, err)
+		}
+		hello = proto.MarshalHelloFor(uint16(id))
+	}
+	reply, err := transport.RequestSessionInfo(ctrl, hello, 5*time.Second)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if id, nak := proto.ParseNak(reply); nak {
+		if id == transport.SessionAny {
+			log.Fatal("fountain-client: server carries no sessions")
+		}
+		log.Fatalf("fountain-client: server has no session %#x (try -list)", id)
 	}
 	info, err := proto.ParseSessionInfo(reply)
 	if err != nil {
@@ -46,31 +123,36 @@ func main() {
 	}
 	fmt.Printf("fountain-client: session %#x codec=%d k=%d n=%d layers=%d file=%d bytes\n",
 		info.Session, info.Codec, info.K, info.N, info.Layers, info.FileLen)
+	if err := download(info, data, *out, *level, *timeout); err != nil {
+		log.Fatal(err)
+	}
+}
 
-	data, err := net.ResolveUDPAddr("udp", *dataAddr)
-	if err != nil {
-		log.Fatal(err)
+// download fetches one session over its own UDP subscription and writes the
+// reconstructed file. Each concurrent download has an independent socket,
+// decoder, and congestion controller — the server keeps no state for any of
+// them.
+func download(info proto.SessionInfo, data *net.UDPAddr, out string, level int, timeout time.Duration) error {
+	if level >= int(info.Layers) {
+		level = int(info.Layers) - 1
 	}
-	if *level >= int(info.Layers) {
-		*level = int(info.Layers) - 1
-	}
-	udp, err := transport.NewUDPClient(data, *level)
+	udp, err := transport.NewUDPClientSession(data, info.Session, level)
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
 	defer udp.Close()
-	eng, err := client.New(info, *level, func(l int) {
+	eng, err := client.New(info, level, func(l int) {
 		if err := udp.SetLevel(l); err != nil {
-			log.Printf("subscription change failed: %v", err)
+			log.Printf("session %#x: subscription change failed: %v", info.Session, err)
 		}
 	})
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	deadline := time.Now().Add(*timeout)
+	deadline := time.Now().Add(timeout)
 	for !eng.Done() {
 		if time.Now().After(deadline) {
-			log.Fatal("fountain-client: timed out")
+			return fmt.Errorf("timed out after %v", timeout)
 		}
 		pkt, ok := udp.Recv(2 * time.Second)
 		if !ok {
@@ -82,12 +164,13 @@ func main() {
 	}
 	file, err := eng.File()
 	if err != nil {
-		log.Fatal(err)
+		return err
 	}
-	if err := os.WriteFile(*out, file, 0o644); err != nil {
-		log.Fatal(err)
+	if err := os.WriteFile(out, file, 0o644); err != nil {
+		return err
 	}
 	eta, etaC, etaD := eng.Efficiency()
 	fmt.Printf("fountain-client: wrote %s (%d bytes); loss=%.1f%% eta=%.3f eta_c=%.3f eta_d=%.3f level=%d\n",
-		*out, len(file), 100*eng.MeasuredLoss(), eta, etaC, etaD, eng.Level())
+		out, len(file), 100*eng.MeasuredLoss(), eta, etaC, etaD, eng.Level())
+	return nil
 }

@@ -1,12 +1,19 @@
-// Command fountain-server serves a file as a digital fountain over UDP:
-// a control socket answers session-info requests (the paper's "UDP unicast
-// thread which provides control information"), and a data socket transmits
-// the layered carousel to subscribed clients.
+// Command fountain-server serves files as digital fountains over UDP. One
+// data socket multiplexes every session (clients subscribe to a specific
+// session id, or to all of them), and one control socket answers catalog
+// and session-info requests (the paper's "UDP unicast thread which provides
+// control information"). Repair packets of range-encodable codecs are
+// produced lazily behind a shared bounded cache, so one server can carry
+// many large files.
 //
 // Usage:
 //
-//	fountain-server -file software.bin -data 127.0.0.1:9000 -control 127.0.0.1:9001 \
-//	                -layers 4 -rate 2048 -codec tornado-a
+//	fountain-server -file software.bin -file patch.bin \
+//	                -data 127.0.0.1:9000 -control 127.0.0.1:9001 \
+//	                -layers 4 -rate 2048 -codec cauchy -cache 67108864
+//
+// Each -file becomes its own session: the first gets session id -session,
+// the next -session+1, and so on.
 package main
 
 import (
@@ -15,72 +22,128 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/proto"
-	"repro/internal/server"
+	"repro/internal/service"
 	"repro/internal/transport"
 )
 
+type fileList []string
+
+func (f *fileList) String() string     { return fmt.Sprint(*f) }
+func (f *fileList) Set(s string) error { *f = append(*f, s); return nil }
+
 func main() {
+	var files fileList
 	var (
-		file     = flag.String("file", "", "file to distribute")
 		dataAddr = flag.String("data", "127.0.0.1:9000", "data socket address")
 		ctrlAddr = flag.String("control", "127.0.0.1:9001", "control socket address")
 		layers   = flag.Int("layers", 4, "multicast layers")
-		rate     = flag.Int("rate", 2048, "base-layer rate, packets/second")
+		rate     = flag.Int("rate", 2048, "base-layer rate per session, packets/second")
 		codec    = flag.String("codec", "tornado-a", "tornado-a|tornado-b|cauchy|vandermonde|interleaved")
 		pktLen   = flag.Int("pkt", 500, "payload bytes per packet")
 		seed     = flag.Int64("seed", 1998, "graph seed")
+		baseID   = flag.Uint("session", 0xDF98, "session id of the first file (subsequent files increment)")
+		cacheB   = flag.Int64("cache", 64<<20, "shared lazy-encoding cache budget, bytes")
+		statsSec = flag.Int("stats", 30, "seconds between stats lines (0 = never)")
 	)
+	flag.Var(&files, "file", "file to distribute (repeatable)")
 	flag.Parse()
-	if *file == "" {
-		log.Fatal("fountain-server: -file is required")
+	if len(files) == 0 {
+		log.Fatal("fountain-server: at least one -file is required")
 	}
-	data, err := os.ReadFile(*file)
+	// Session ids are uint16 and 0xFFFF is the subscription wildcard; the
+	// per-file increment must stay below it.
+	if *baseID+uint(len(files))-1 > 0xFFFE {
+		log.Fatalf("fountain-server: -session %#x + %d files exceeds the max session id 0xFFFE", *baseID, len(files))
+	}
+
+	codecID, err := codecByName(*codec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	cfg := core.DefaultConfig()
-	cfg.Layers = *layers
-	cfg.PacketLen = *pktLen
-	cfg.Seed = *seed
-	switch *codec {
-	case "tornado-a":
-		cfg.Codec = proto.CodecTornadoA
-	case "tornado-b":
-		cfg.Codec = proto.CodecTornadoB
-	case "cauchy":
-		cfg.Codec = proto.CodecCauchy
-	case "vandermonde":
-		cfg.Codec = proto.CodecVandermonde
-	case "interleaved":
-		cfg.Codec = proto.CodecInterleaved
-	default:
-		log.Fatalf("unknown codec %q", *codec)
-	}
-	sess, err := core.NewSession(data, cfg)
-	if err != nil {
-		log.Fatal(err)
-	}
-	info := sess.Info()
-	info.BaseRate = uint32(*rate)
 
 	udp, err := transport.NewUDPServer(*dataAddr, *layers)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer udp.Close()
-	ctrl, stopCtrl, err := transport.ServeControl(*ctrlAddr, proto.IsHello, info.Marshal())
+
+	svc := service.New(udp, service.Config{CacheBytes: *cacheB, BaseRate: *rate})
+	defer svc.Close()
+
+	for i, file := range files {
+		data, err := os.ReadFile(file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := core.DefaultConfig()
+		cfg.Codec = codecID
+		cfg.Layers = *layers
+		cfg.PacketLen = *pktLen
+		cfg.Seed = *seed + int64(i)
+		cfg.Session = uint16(*baseID) + uint16(i)
+		sess, err := svc.AddData(data, cfg, *rate)
+		if err != nil {
+			log.Fatal(err)
+		}
+		info := sess.Info()
+		mode := "eager"
+		if sess.Lazy() {
+			mode = "lazy"
+		}
+		fmt.Printf("fountain-server: session %#x %s (%d bytes, k=%d, n=%d, %s encoding)\n",
+			cfg.Session, file, len(data), info.K, info.N, mode)
+	}
+
+	ctrl, stopCtrl, err := transport.ServeControlFunc(*ctrlAddr, svc.HandleControl)
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer stopCtrl()
+	fmt.Printf("fountain-server: %d sessions data=%s control=%s layers=%d rate=%d\n",
+		len(files), udp.Addr(), ctrl, *layers, *rate)
 
-	fmt.Printf("fountain-server: %s (%d bytes, k=%d, n=%d) data=%s control=%s layers=%d\n",
-		*file, len(data), info.K, info.N, udp.Addr(), ctrl, *layers)
-	eng := server.New(sess, udp)
-	if err := eng.Run(context.Background(), *rate); err != nil && err != context.Canceled {
-		log.Fatal(err)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if *statsSec > 0 {
+		go func() {
+			t := time.NewTicker(time.Duration(*statsSec) * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-t.C:
+					s := svc.Stats()
+					fmt.Printf("fountain-server: sessions=%d pkts=%d bytes=%d errs=%d cache=%d/%d (peak %d) hit/miss=%d/%d\n",
+						s.Sessions, s.PacketsSent, s.BytesSent, s.SendErrors,
+						s.CacheUsed, svc.Cache().Cap(), s.CachePeak, s.CacheHits, s.CacheMisses)
+				}
+			}
+		}()
+	}
+	<-ctx.Done()
+	fmt.Println("fountain-server: shutting down")
+}
+
+func codecByName(name string) (uint8, error) {
+	switch name {
+	case "tornado-a":
+		return proto.CodecTornadoA, nil
+	case "tornado-b":
+		return proto.CodecTornadoB, nil
+	case "cauchy":
+		return proto.CodecCauchy, nil
+	case "vandermonde":
+		return proto.CodecVandermonde, nil
+	case "interleaved":
+		return proto.CodecInterleaved, nil
+	default:
+		return 0, fmt.Errorf("unknown codec %q", name)
 	}
 }

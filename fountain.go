@@ -34,6 +34,7 @@ import (
 	"repro/internal/proto"
 	"repro/internal/rs"
 	"repro/internal/server"
+	"repro/internal/service"
 	"repro/internal/tornado"
 	"repro/internal/transport"
 )
@@ -111,8 +112,31 @@ const (
 // payloads, stretch 2, 4 layers.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
-// NewSession encodes data for fountain distribution.
+// NewSession encodes data for fountain distribution (eagerly — the full
+// encoding is materialized up front).
 func NewSession(data []byte, cfg Config) (*Session, error) { return core.NewSession(data, cfg) }
+
+// BlockCache is a shared byte-bounded cache of lazily encoded repair
+// blocks: hand one cache to every NewSessionCached call so a server holding
+// many files keeps its repair-packet memory under a single budget.
+type BlockCache = core.BlockCache
+
+// NewBlockCache creates a block cache with the given byte budget.
+func NewBlockCache(capBytes int64) *BlockCache { return core.NewBlockCache(capBytes) }
+
+// NewSessionCached builds a session that encodes repair blocks on first
+// carousel touch, bounded by the shared cache. Codecs without per-range
+// encoding (Tornado) fall back to eager encoding.
+func NewSessionCached(data []byte, cfg Config, cache *BlockCache) (*Session, error) {
+	return core.NewSessionCached(data, cfg, cache)
+}
+
+// Carousel walks a session's transmission schedule as a stream of stamped
+// wire packets (rounds, per-layer serials, SP/burst flags).
+type Carousel = core.Carousel
+
+// NewCarousel starts a fresh carousel over the session.
+func NewCarousel(sess *Session) *Carousel { return core.NewCarousel(sess) }
 
 // NewReceiver builds a receiver from a session descriptor.
 func NewReceiver(info SessionInfo) (*Receiver, error) { return core.NewReceiver(info) }
@@ -155,7 +179,34 @@ func NewUDPServer(addr string, layers int) (*UDPServer, error) {
 }
 
 // NewUDPClient dials a UDP server's data address and subscribes to layers
-// 0..level.
+// 0..level of every session the server carries.
 func NewUDPClient(server *net.UDPAddr, level int) (*UDPClient, error) {
 	return transport.NewUDPClient(server, level)
 }
+
+// NewUDPClientSession dials a UDP server's data address and subscribes to
+// layers 0..level of one session (the server muxes all its sessions over
+// one data socket).
+func NewUDPClientSession(server *net.UDPAddr, session uint16, level int) (*UDPClient, error) {
+	return transport.NewUDPClientSession(server, session, level)
+}
+
+// SessionAny is the wildcard session id for UDP subscriptions.
+const SessionAny = transport.SessionAny
+
+// Service is the multi-session fountain server core: a registry of
+// concurrent sessions over one transport, each driven by its own paced
+// sender goroutine, with a shared bounded lazy-encoding cache, catalog
+// discovery, and basic counters.
+type Service = service.Service
+
+// ServiceConfig tunes a Service (cache budget, default rate).
+type ServiceConfig = service.Config
+
+// ServiceStats is a snapshot of a Service's counters.
+type ServiceStats = service.Stats
+
+// NewService creates a service transmitting on tx. Add sessions with
+// Service.AddData / Service.Add; serve discovery by wiring
+// Service.HandleControl to a control socket.
+func NewService(tx server.Sender, cfg ServiceConfig) *Service { return service.New(tx, cfg) }

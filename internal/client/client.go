@@ -27,8 +27,43 @@ type Engine struct {
 
 	// Loss accounting across the whole download (per layer serial gaps).
 	lastSerial map[uint8]uint32
+	missing    map[uint8]*missingWindow // serials counted lost, refundable on late arrival
 	lost       int
 	received   int
+}
+
+// maxTrackedMissing bounds the per-layer window of refundable lost serials:
+// reordering windows are short, so only the most recent serials of a gap
+// need tracking; anything older stays counted as lost.
+const maxTrackedMissing = 512
+
+// missingWindow remembers the most recent serials counted as lost, so a
+// late (reordered) arrival refunds its provisional loss exactly once. It is
+// a FIFO ring over a set: inserting past capacity evicts the oldest
+// remembered serial, never blocking newer gaps from being tracked.
+type missingWindow struct {
+	set  map[uint32]struct{}
+	ring [maxTrackedMissing]uint32
+	n    int // total inserts
+}
+
+func (w *missingWindow) add(s uint32) {
+	slot := w.n % maxTrackedMissing
+	if w.n >= maxTrackedMissing {
+		delete(w.set, w.ring[slot]) // evict oldest (no-op if already refunded)
+	}
+	w.ring[slot] = s
+	w.set[s] = struct{}{}
+	w.n++
+}
+
+// refund reports whether s was a tracked loss, forgetting it if so.
+func (w *missingWindow) refund(s uint32) bool {
+	if _, ok := w.set[s]; !ok {
+		return false
+	}
+	delete(w.set, s)
+	return true
 }
 
 // New builds a client engine from a session descriptor. setLevel is
@@ -47,6 +82,7 @@ func New(info proto.SessionInfo, startLevel int, setLevel Leveler) (*Engine, err
 		setLevel:   setLevel,
 		info:       info,
 		lastSerial: make(map[uint8]uint32),
+		missing:    make(map[uint8]*missingWindow),
 	}, nil
 }
 
@@ -64,11 +100,46 @@ func (e *Engine) HandlePacket(pkt []byte) (done bool, err error) {
 	if h.Session != e.info.Session {
 		return e.rcv.Done(), fmt.Errorf("client: foreign session %#x", h.Session)
 	}
-	// Whole-download loss measurement from serial gaps.
-	if last, ok := e.lastSerial[h.Group]; ok && h.Serial > last {
-		e.lost += int(h.Serial - last - 1)
+	// Whole-download loss measurement from serial gaps. Serial arithmetic
+	// is modular: a long-lived carousel wraps the uint32 serial, so the
+	// gap is the unsigned difference, with deltas in the upper half-range
+	// treated as reordered/old packets rather than as astronomical gaps.
+	// The serials of a gap are remembered (up to a bounded window), so a
+	// late arrival refunds its provisional loss exactly once — duplicates
+	// and genuinely foreign old serials refund nothing.
+	if last, ok := e.lastSerial[h.Group]; ok {
+		switch delta := h.Serial - last; {
+		case delta == 0:
+			// Duplicate serial: nothing to account.
+		case delta < 1<<31:
+			e.lost += int(delta - 1)
+			if delta > 1 {
+				w := e.missing[h.Group]
+				if w == nil {
+					w = &missingWindow{set: make(map[uint32]struct{})}
+					e.missing[h.Group] = w
+				}
+				// Oldest-first so the window's FIFO eviction keeps the
+				// newest serials; a huge gap only records its tail.
+				lo := last + 1
+				if delta-1 > maxTrackedMissing {
+					lo = h.Serial - maxTrackedMissing
+				}
+				for s := lo; s != h.Serial; s++ {
+					w.add(s)
+				}
+			}
+			e.lastSerial[h.Group] = h.Serial
+		default:
+			// Late arrival from before lastSerial: refund its loss if it
+			// is one we counted.
+			if w := e.missing[h.Group]; w != nil && w.refund(h.Serial) {
+				e.lost--
+			}
+		}
+	} else {
+		e.lastSerial[h.Group] = h.Serial
 	}
-	e.lastSerial[h.Group] = h.Serial
 	e.received++
 	// Congestion control: only meaningful with multiple layers.
 	if e.info.Layers > 1 {

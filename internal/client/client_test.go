@@ -162,3 +162,116 @@ func TestRejectsForeignPackets(t *testing.T) {
 		t.Fatal("short packet accepted")
 	}
 }
+
+// TestLossAccountingWrapAndReorder: whole-download loss measurement must
+// survive uint32 serial wraparound (a long-lived carousel) and not corrupt
+// the estimate on reordered packets.
+func TestLossAccountingWrapAndReorder(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	data := make([]byte, 5_000)
+	rng.Read(data)
+	cfg := core.DefaultConfig()
+	cfg.Layers = 1
+	sess, err := core.NewSession(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(eng *Engine, serial uint32) {
+		if _, err := eng.HandlePacket(sess.Packet(0, 0, serial, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Crossing the wrap boundary with one packet lost in the gap:
+	// ..fffe, ..ffff, then 2 (0 and 1 were lost... no: ffff -> 2 skips 0
+	// and 1, a gap of 2).
+	eng, err := New(sess.Info(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(eng, 0xFFFFFFFE)
+	feed(eng, 0xFFFFFFFF)
+	feed(eng, 2) // wraps: serials 0 and 1 lost
+	if got, want := eng.MeasuredLoss(), 2.0/5.0; got != want {
+		t.Fatalf("wrap loss = %v, want %v", got, want)
+	}
+
+	// A pre-fix client would compute h.Serial > last as false across the
+	// wrap and silently miss the gap — worse, a huge spurious gap appears
+	// when serials are compared the other way. Reordering: late arrival of
+	// a previously-counted-lost packet must refund exactly one loss.
+	eng2, err := New(sess.Info(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed(eng2, 1)
+	feed(eng2, 4) // 2 and 3 presumed lost
+	if got := eng2.MeasuredLoss(); got != 2.0/4.0 {
+		t.Fatalf("gap loss = %v, want 0.5", got)
+	}
+	feed(eng2, 3) // late arrival: refund one
+	if got, want := eng2.MeasuredLoss(), 1.0/4.0; got != want {
+		t.Fatalf("post-reorder loss = %v, want %v", got, want)
+	}
+	// Duplicate serial: no change to the loss count.
+	feed(eng2, 4)
+	if got, want := eng2.MeasuredLoss(), 1.0/5.0; got != want {
+		t.Fatalf("post-duplicate loss = %v, want %v", got, want)
+	}
+	// A duplicated *late* packet must not refund twice: serial 3 was
+	// already refunded above, so this one changes only the receive count.
+	feed(eng2, 3)
+	if got, want := eng2.MeasuredLoss(), 1.0/6.0; got != want {
+		t.Fatalf("double-refund guard: loss = %v, want %v", got, want)
+	}
+	// An old serial that was never counted lost (e.g. a stray from before
+	// the first packet) must not refund anything either.
+	feed(eng2, 1)
+	if got, want := eng2.MeasuredLoss(), 1.0/7.0; got != want {
+		t.Fatalf("uncounted-old-serial refund: loss = %v, want %v", got, want)
+	}
+}
+
+// TestLossWindowDoesNotSaturate: after far more than maxTrackedMissing
+// genuine losses, freshly lost serials must still be refundable — the
+// window evicts oldest entries instead of refusing new ones.
+func TestLossWindowDoesNotSaturate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	data := make([]byte, 5_000)
+	rng.Read(data)
+	cfg := core.DefaultConfig()
+	cfg.Layers = 1
+	sess, err := core.NewSession(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := New(sess.Info(), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	feed := func(serial uint32) {
+		if _, err := eng.HandlePacket(sess.Packet(0, 0, serial, 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// 2000 gaps of one serial each: every even serial received, odd lost.
+	var serial uint32
+	for i := 0; i < 2000; i++ {
+		serial += 2
+		feed(serial)
+	}
+	lostBefore := eng.lost
+	if lostBefore < 1999 {
+		t.Fatalf("expected ~1999 provisional losses, got %d", lostBefore)
+	}
+	// The most recent odd serial must still be tracked and refundable.
+	feed(serial - 1)
+	if eng.lost != lostBefore-1 {
+		t.Fatalf("recent loss not refunded after long run: lost=%d want %d", eng.lost, lostBefore-1)
+	}
+	// An ancient one fell out of the window: no refund.
+	feed(3)
+	if eng.lost != lostBefore-1 {
+		t.Fatalf("ancient serial refunded: lost=%d", eng.lost)
+	}
+}

@@ -32,6 +32,25 @@ type Codec interface {
 	NewDecoder() Decoder
 }
 
+// RangeEncoder is an optional Codec capability: codecs whose encoding
+// packets are mutually independent (the Reed-Solomon and interleaved
+// codes — every output row is its own inner product) can produce any
+// contiguous index range of the encoding on demand, without materializing
+// the other n - (hi-lo) packets.
+//
+// A fountain server uses this to keep many large sessions resident at
+// once: instead of holding the full stretch-factor-n encoding per file, it
+// encodes blocks of packet indices on first touch behind a bounded cache
+// (see core.BlockCache). Tornado codes do not implement RangeEncoder —
+// their cascade checks are computed jointly — and fall back to eager
+// encoding.
+type RangeEncoder interface {
+	// EncodeRange returns encoding packets [lo, hi). Entries that are
+	// source packets alias src; repair entries are freshly allocated.
+	// src must be the full k source packets.
+	EncodeRange(src [][]byte, lo, hi int) ([][]byte, error)
+}
+
 // Decoder incrementally consumes encoding packets until the source data is
 // recoverable. This mirrors the paper's receiver: packets arrive in
 // arbitrary order (carousel position, loss, layering), and the decoder

@@ -1,0 +1,73 @@
+package core
+
+import "repro/internal/proto"
+
+// Carousel walks a session's transmission schedule as a stream of wire
+// packets: it tracks the round counter and the per-layer serial numbers,
+// stamps headers (SP and burst markers per §7.1.1, serials for loss
+// measurement), and hands each packet to an emit callback. It holds all the
+// mutable transmission state, so the Session itself stays immutable and one
+// session can feed any number of independent carousels (one per service
+// sender goroutine, one per simulated run, ...).
+//
+// A Carousel is not safe for concurrent use; give each goroutine its own.
+type Carousel struct {
+	sess    *Session
+	serials []uint32
+	round   int
+	sent    int
+}
+
+// NewCarousel starts a fresh carousel over the session (round 0, all
+// serials at 0).
+func NewCarousel(sess *Session) *Carousel {
+	return &Carousel{sess: sess, serials: make([]uint32, sess.Config().Layers)}
+}
+
+// Session returns the session the carousel transmits.
+func (c *Carousel) Session() *Session { return c.sess }
+
+// Round returns the next round number to be sent.
+func (c *Carousel) Round() int { return c.round }
+
+// Sent returns the total number of packets emitted so far.
+func (c *Carousel) Sent() int { return c.sent }
+
+// NextRound emits one full round across all layers and advances the round
+// counter. The first packet of an SP round carries the SP flag; packets of
+// a burst round carry the burst flag (the doubled instantaneous rate of
+// §7.1.1 is applied by the caller's pacing, not by duplicating content).
+// Emission stops at the first emit error, which is returned.
+func (c *Carousel) NextRound(emit func(layer int, pkt []byte) error) error {
+	round := c.round
+	c.round++
+	layers := c.sess.Config().Layers
+	for layer := 0; layer < layers; layer++ {
+		idxs := c.sess.CarouselIndices(layer, round)
+		var flags uint8
+		if c.sess.IsSP(layer, round) {
+			flags |= proto.FlagSP
+		}
+		if c.sess.BurstRound(layer, round) {
+			flags |= proto.FlagBurst
+		}
+		for pi, idx := range idxs {
+			f := flags
+			if pi > 0 {
+				f &^= proto.FlagSP // SP marks only the round's first packet
+			}
+			c.serials[layer]++
+			pkt := c.sess.Packet(idx, uint8(layer), c.serials[layer], f)
+			if err := emit(layer, pkt); err != nil {
+				return err
+			}
+			c.sent++
+		}
+	}
+	return nil
+}
+
+// BurstNext reports whether the upcoming round is a burst round on the base
+// layer — the pacing hint a real-time sender uses to send it back-to-back
+// with its predecessor (double instantaneous rate).
+func (c *Carousel) BurstNext() bool { return c.sess.BurstRound(0, c.round) }

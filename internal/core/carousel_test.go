@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+func carouselSession(t *testing.T, layers int) *Session {
+	t.Helper()
+	rng := rand.New(rand.NewSource(51))
+	data := make([]byte, 30_000)
+	rng.Read(data)
+	cfg := DefaultConfig()
+	cfg.Layers = layers
+	cfg.SPInterval = 4
+	s, err := NewSession(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestCarouselSerialsAndFlags: the extracted carousel must stamp dense
+// per-layer serials, carry SP only on a round's first packet, and count
+// rounds/sent like the engine it replaced.
+func TestCarouselSerialsAndFlags(t *testing.T) {
+	sess := carouselSession(t, 4)
+	car := NewCarousel(sess)
+	next := map[int]uint32{}
+	spPerRound := 0
+	for round := 0; round < 8; round++ {
+		spThisRound := map[int]int{}
+		err := car.NextRound(func(layer int, pkt []byte) error {
+			h, _, err := proto.ParseHeader(pkt)
+			if err != nil {
+				return err
+			}
+			if int(h.Group) != layer {
+				t.Fatalf("group %d on layer %d", h.Group, layer)
+			}
+			next[layer]++
+			if h.Serial != next[layer] {
+				t.Fatalf("layer %d serial %d, want %d", layer, h.Serial, next[layer])
+			}
+			if h.Flags&proto.FlagSP != 0 {
+				spThisRound[layer]++
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for layer, n := range spThisRound {
+			if n > 1 {
+				t.Fatalf("round %d layer %d carried %d SPs", round, layer, n)
+			}
+			spPerRound++
+		}
+	}
+	if car.Round() != 8 {
+		t.Fatalf("round = %d, want 8", car.Round())
+	}
+	sent := 0
+	for _, n := range next {
+		sent += int(n)
+	}
+	if car.Sent() != sent {
+		t.Fatalf("sent = %d, delivered %d", car.Sent(), sent)
+	}
+	if spPerRound == 0 {
+		t.Fatal("no SPs observed")
+	}
+}
+
+// TestCarouselIndependentStreams: two carousels over one session are
+// independent — same schedule, separate serial state — which is what lets a
+// service restart a session's sender without disturbing the session.
+func TestCarouselIndependentStreams(t *testing.T) {
+	sess := carouselSession(t, 2)
+	a, b := NewCarousel(sess), NewCarousel(sess)
+	var pa, pb [][]byte
+	collect := func(dst *[][]byte) func(int, []byte) error {
+		return func(_ int, pkt []byte) error {
+			cp := make([]byte, len(pkt))
+			copy(cp, pkt)
+			*dst = append(*dst, cp)
+			return nil
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := a.NextRound(collect(&pa)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		if err := b.NextRound(collect(&pb)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(pa) == 0 || len(pa) != len(pb) {
+		t.Fatalf("stream lengths differ: %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if !bytes.Equal(pa[i], pb[i]) {
+			t.Fatalf("packet %d differs between equivalent carousels", i)
+		}
+	}
+}
+
+// TestCarouselEmitError: an emit failure must propagate out of NextRound.
+func TestCarouselEmitError(t *testing.T) {
+	sess := carouselSession(t, 1)
+	car := NewCarousel(sess)
+	boom := bytes.ErrTooLarge
+	if err := car.NextRound(func(int, []byte) error { return boom }); err != boom {
+		t.Fatalf("err = %v, want %v", err, boom)
+	}
+}

@@ -14,6 +14,7 @@ package core
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/code"
 	"repro/internal/interleave"
@@ -34,6 +35,10 @@ type Config struct {
 	Session    uint16
 	// InterleaveBlockK is the per-block k when Codec is CodecInterleaved.
 	InterleaveBlockK int
+	// LazyBlock is the number of encoding packets per lazily encoded cache
+	// block when the session is built with NewSessionCached (0 = 64). It
+	// has no effect on eager sessions.
+	LazyBlock int
 }
 
 // DefaultConfig mirrors the prototype in §7.3: Tornado A, 500-byte
@@ -51,14 +56,41 @@ func DefaultConfig() Config {
 
 // Session is an encoded file ready for fountain transmission. It is
 // immutable after creation and safe for concurrent readers.
+//
+// A session is either eager — the full stretch-factor-n encoding is
+// materialized at construction, as the one-session prototype did — or lazy:
+// only the k source packets are resident, and repair blocks are encoded on
+// first touch behind a shared bounded BlockCache (NewSessionCached). Lazy
+// sessions require the codec to implement code.RangeEncoder; codecs that
+// cannot (Tornado's cascade checks are computed jointly) fall back to eager
+// encoding.
 type Session struct {
 	cfg      Config
 	codec    code.Codec
-	enc      [][]byte
+	enc      [][]byte // full encoding; nil when lazy
 	fileLen  int
 	fileHash uint64
 	sched    *sched.Schedule
 	perm     []int // randomized carousel order for single-layer mode
+
+	// Lazy-encoding state (nil/zero for eager sessions).
+	src       [][]byte      // the k source packets, aliasing one buffer
+	srcAt     []int32       // encoding idx -> source packet index, -1 for repairs
+	srcHeads  map[*byte]int // first-byte identity of each source packet
+	ranger    code.RangeEncoder
+	cache     *BlockCache
+	blockPkts int
+	nBlocks   int
+
+	// filled marks blocks that have been range-encoded in full once.
+	// After a block is evicted, re-misses encode only the requested
+	// packet: under cache pressure the carousel's randomized order gives
+	// blocks no locality, and re-encoding 64 packets to emit one would
+	// amplify encode work ~64x. With this bound, total lazy encode work
+	// is at most one full materialization plus one packet per post-
+	// eviction miss.
+	fillMu sync.Mutex
+	filled []bool
 }
 
 // buildCodec constructs the codec named by cfg for k source packets.
@@ -95,8 +127,21 @@ func PadPacketLen(pl int) int {
 	return pl + 16 - pl%16
 }
 
-// NewSession encodes data for fountain distribution.
+// NewSession encodes data for fountain distribution, materializing the
+// full encoding eagerly (the memory/latency profile of the one-session
+// prototype). Servers holding many files should use NewSessionCached.
 func NewSession(data []byte, cfg Config) (*Session, error) {
+	return NewSessionCached(data, cfg, nil)
+}
+
+// NewSessionCached builds a session whose repair packets are encoded
+// lazily, per block, on first carousel touch, with the encoded blocks held
+// in the given shared BlockCache. Pass the same cache to every session of a
+// service so the total repair-packet memory stays under one budget.
+//
+// A nil cache, or a codec that does not implement code.RangeEncoder,
+// degrades to eager encoding (full materialization at construction).
+func NewSessionCached(data []byte, cfg Config, cache *BlockCache) (*Session, error) {
 	if cfg.Stretch < 2 {
 		return nil, fmt.Errorf("core: stretch %d < 2", cfg.Stretch)
 	}
@@ -106,6 +151,9 @@ func NewSession(data []byte, cfg Config) (*Session, error) {
 	cfg.PacketLen = PadPacketLen(cfg.PacketLen)
 	if cfg.SPInterval <= 0 {
 		cfg.SPInterval = 16
+	}
+	if cfg.LazyBlock <= 0 {
+		cfg.LazyBlock = 64
 	}
 	k := code.PacketsFor(len(data), cfg.PacketLen)
 	if k == 0 {
@@ -121,10 +169,6 @@ func NewSession(data []byte, cfg Config) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	enc, err := codec.Encode(src)
-	if err != nil {
-		return nil, err
-	}
 	sc, err := sched.New(cfg.Layers)
 	if err != nil {
 		return nil, err
@@ -132,13 +176,115 @@ func NewSession(data []byte, cfg Config) (*Session, error) {
 	s := &Session{
 		cfg:      cfg,
 		codec:    codec,
-		enc:      enc,
 		fileLen:  len(data),
 		fileHash: proto.FNV64a(data),
 		sched:    sc,
 		perm:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)).Perm(codec.N()),
 	}
+	if ranger, ok := codec.(code.RangeEncoder); ok && cache != nil {
+		s.src = src
+		s.ranger = ranger
+		s.cache = cache
+		s.blockPkts = cfg.LazyBlock
+		s.nBlocks = (codec.N() + cfg.LazyBlock - 1) / cfg.LazyBlock
+		s.filled = make([]bool, s.nBlocks)
+		s.srcHeads = make(map[*byte]int, len(src))
+		for i, p := range src {
+			s.srcHeads[&p[0]] = i
+		}
+		// Source packets are always resident, so their sends must not
+		// touch the shared cache (the only cross-session lock on the data
+		// path). Codecs that are systematic via a mapping rather than a
+		// prefix (the interleaved code) expose SourceIndex.
+		s.srcAt = make([]int32, codec.N())
+		for i := range s.srcAt {
+			s.srcAt[i] = -1
+		}
+		if si, ok := codec.(interface{ SourceIndex(int) int }); ok {
+			for f := 0; f < codec.K(); f++ {
+				s.srcAt[si.SourceIndex(f)] = int32(f)
+			}
+		} else {
+			for f := 0; f < codec.K(); f++ {
+				s.srcAt[f] = int32(f)
+			}
+		}
+		return s, nil
+	}
+	enc, err := codec.Encode(src)
+	if err != nil {
+		return nil, err
+	}
+	s.enc = enc
 	return s, nil
+}
+
+// Lazy reports whether the session encodes repair blocks on demand.
+func (s *Session) Lazy() bool { return s.enc == nil }
+
+// Payload returns the payload bytes of encoding packet idx. Eager sessions
+// index the materialized encoding; lazy sessions consult the shared block
+// cache, encoding on a miss — the containing block on its first-ever
+// touch, just the single packet after an eviction. The returned slice is
+// shared and must not be modified.
+func (s *Session) Payload(idx int) []byte {
+	if s.enc != nil {
+		return s.enc[idx]
+	}
+	if f := s.srcAt[idx]; f >= 0 {
+		return s.src[f] // always resident; no cache traffic
+	}
+	block := idx / s.blockPkts
+	lo := block * s.blockPkts
+	// Single-packet refill entries live in the key space above the block
+	// ids; one lookup probes both so the hit/miss counters see one event.
+	if pkts, full := s.cache.get2(s, block, s.nBlocks+idx); pkts != nil {
+		if full {
+			return pkts[idx-lo]
+		}
+		return pkts[0]
+	}
+	if s.firstFillDone(block) {
+		pkts := s.encodeRange(idx, idx+1)
+		return s.cachePut(s.nBlocks+idx, pkts)[0]
+	}
+	hi := min(lo+s.blockPkts, s.codec.N())
+	pkts := s.encodeRange(lo, hi)
+	return s.cachePut(block, pkts)[idx-lo]
+}
+
+// firstFillDone reports whether the block was already range-encoded in
+// full once, marking it if not (the caller then performs that first fill).
+func (s *Session) firstFillDone(block int) bool {
+	s.fillMu.Lock()
+	defer s.fillMu.Unlock()
+	if s.filled[block] {
+		return true
+	}
+	s.filled[block] = true
+	return false
+}
+
+func (s *Session) encodeRange(lo, hi int) [][]byte {
+	pkts, err := s.ranger.EncodeRange(s.src, lo, hi)
+	if err != nil {
+		// The inputs were validated at construction; a range-encode failure
+		// here is a codec contract violation, not a runtime condition.
+		panic(fmt.Sprintf("core: lazy encode of [%d,%d) failed: %v", lo, hi, err))
+	}
+	return pkts
+}
+
+// cachePut inserts an encoded run under key, charging only bytes that do
+// not alias the source buffer.
+func (s *Session) cachePut(key int, pkts [][]byte) [][]byte {
+	var charged int64
+	for _, p := range pkts {
+		if _, aliased := s.srcHeads[&p[0]]; !aliased {
+			charged += int64(len(p))
+		}
+	}
+	return s.cache.put(s, key, pkts, charged)
 }
 
 // Codec exposes the session's erasure codec.
@@ -181,8 +327,9 @@ func (s *Session) Packet(idx int, layer uint8, serial uint32, flags uint8) []byt
 		Flags:   flags,
 		Session: s.cfg.Session,
 	}
-	out := h.Marshal(make([]byte, 0, proto.HeaderLen+len(s.enc[idx])))
-	return append(out, s.enc[idx]...)
+	payload := s.Payload(idx)
+	out := h.Marshal(make([]byte, 0, proto.HeaderLen+len(payload)))
+	return append(out, payload...)
 }
 
 // CarouselIndices returns the encoding indices transmitted on `layer`

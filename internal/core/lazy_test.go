@@ -1,0 +1,183 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+func lazyTestConfig(codec uint8) Config {
+	cfg := DefaultConfig()
+	cfg.Codec = codec
+	cfg.Layers = 1
+	cfg.LazyBlock = 16
+	return cfg
+}
+
+// TestLazyMatchesEager: every packet of a lazy session must be byte-identical
+// to the eager session's, for every range-encodable codec.
+func TestLazyMatchesEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	data := make([]byte, 60_000)
+	rng.Read(data)
+	for _, codec := range []uint8{proto.CodecCauchy, proto.CodecVandermonde, proto.CodecInterleaved} {
+		cfg := lazyTestConfig(codec)
+		eager, err := NewSession(data, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cache := NewBlockCache(1 << 30) // effectively unbounded
+		lazy, err := NewSessionCached(data, cfg, cache)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lazy.Lazy() {
+			t.Fatalf("codec %d: session not lazy", codec)
+		}
+		if eager.Lazy() {
+			t.Fatal("eager session claims lazy")
+		}
+		n := eager.Codec().N()
+		// Touch out of order to exercise block-boundary arithmetic.
+		order := rng.Perm(n)
+		for _, i := range order {
+			if !bytes.Equal(lazy.Payload(i), eager.Payload(i)) {
+				t.Fatalf("codec %d: payload %d differs between lazy and eager", codec, i)
+			}
+		}
+		// Wire packets must agree too (header + payload).
+		for _, i := range []int{0, 1, n / 2, n - 1} {
+			if !bytes.Equal(lazy.Packet(i, 0, 7, 0), eager.Packet(i, 0, 7, 0)) {
+				t.Fatalf("codec %d: packet %d differs", codec, i)
+			}
+		}
+	}
+}
+
+// TestLazyCacheBounded: with a cap far below full materialization, walking
+// the whole carousel repeatedly must keep the cache's peak within one block
+// of the cap — the memory-bounded property the multi-session service relies
+// on.
+func TestLazyCacheBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	data := make([]byte, 120_000)
+	rng.Read(data)
+	cfg := lazyTestConfig(proto.CodecCauchy)
+	cache := NewBlockCache(16 << 10) // 16 KiB; repair region is ~120 KB
+	sess, err := NewSessionCached(data, cfg, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sess.Codec().N()
+	k := sess.Codec().K()
+	blockBytes := int64(cfg.LazyBlock * PadPacketLen(cfg.PacketLen))
+	fullRepair := int64(n-k) * int64(PadPacketLen(cfg.PacketLen))
+	if cache.Cap()+blockBytes >= fullRepair {
+		t.Fatalf("test misconfigured: cap %d not clearly below full materialization %d", cache.Cap(), fullRepair)
+	}
+	for pass := 0; pass < 3; pass++ {
+		for i := 0; i < n; i++ {
+			sess.Payload(i)
+		}
+	}
+	if peak := cache.Peak(); peak > cache.Cap()+blockBytes {
+		t.Fatalf("cache peak %d exceeds cap %d + one block %d", peak, cache.Cap(), blockBytes)
+	}
+	if used := cache.Used(); used > cache.Cap() {
+		t.Fatalf("steady-state cache use %d exceeds cap %d", used, cache.Cap())
+	}
+	hits, misses := cache.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("expected both hits and misses, got %d/%d", hits, misses)
+	}
+}
+
+// TestLazySourceBytesNotCharged: blocks that lie entirely in the systematic
+// prefix alias the file buffer and must not consume cache budget.
+func TestLazySourceBytesNotCharged(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	data := make([]byte, 60_000)
+	rng.Read(data)
+	cfg := lazyTestConfig(proto.CodecCauchy)
+	cache := NewBlockCache(1 << 30)
+	sess, err := NewSessionCached(data, cfg, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := sess.Codec().K()
+	// Touch only source-prefix blocks.
+	for i := 0; i < k-cfg.LazyBlock; i += cfg.LazyBlock {
+		sess.Payload(i)
+	}
+	if used := cache.Used(); used != 0 {
+		t.Fatalf("source-only touches charged %d bytes", used)
+	}
+}
+
+// TestLazyTornadoFallsBackToEager: Tornado cannot range-encode; a cached
+// construction must still work, just eagerly.
+func TestLazyTornadoFallsBackToEager(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	data := make([]byte, 30_000)
+	rng.Read(data)
+	cfg := lazyTestConfig(proto.CodecTornadoA)
+	cache := NewBlockCache(1 << 20)
+	sess, err := NewSessionCached(data, cfg, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Lazy() {
+		t.Fatal("tornado session claims lazy encoding")
+	}
+	if used := cache.Used(); used != 0 {
+		t.Fatalf("eager fallback touched the cache: %d bytes", used)
+	}
+	sess.Payload(sess.Codec().N() - 1) // must not panic
+}
+
+// TestLazyConcurrentReaders: many goroutines hammering Payload through a
+// tiny cache must agree with the eager encoding (run under -race).
+func TestLazyConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	data := make([]byte, 40_000)
+	rng.Read(data)
+	cfg := lazyTestConfig(proto.CodecVandermonde)
+	eager, err := NewSession(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := NewBlockCache(8 << 10)
+	lazy, err := NewSessionCached(data, cfg, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := lazy.Codec().N()
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(seed))
+			for i := 0; i < 400; i++ {
+				idx := r.Intn(n)
+				if !bytes.Equal(lazy.Payload(idx), eager.Payload(idx)) {
+					select {
+					case errs <- "payload mismatch under concurrency":
+					default:
+					}
+					return
+				}
+			}
+		}(int64(w))
+	}
+	wg.Wait()
+	select {
+	case msg := <-errs:
+		t.Fatal(msg)
+	default:
+	}
+}

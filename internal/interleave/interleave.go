@@ -113,6 +113,37 @@ func (c *Codec) Encode(src [][]byte) ([][]byte, error) {
 	return out, nil
 }
 
+// EncodeRange implements code.RangeEncoder: packet i lives in block i % B,
+// and within a block every Cauchy repair packet is independent, so any
+// carousel-order index window can be produced block by block. src is in
+// file order (as for Encode); source entries alias src.
+func (c *Codec) EncodeRange(src [][]byte, lo, hi int) ([][]byte, error) {
+	if err := code.CheckSrc(src, c.K(), c.packetLen); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi < lo || hi > c.N() {
+		return nil, fmt.Errorf("interleave: encode range [%d,%d) out of [0,%d)", lo, hi, c.N())
+	}
+	out := make([][]byte, hi-lo)
+	blockSrc := make([][]byte, c.blockK)
+	for i := lo; i < hi; i++ {
+		b, inner := c.position(i)
+		if inner < c.blockK {
+			out[i-lo] = src[b*c.blockK+inner]
+			continue
+		}
+		for j := 0; j < c.blockK; j++ {
+			blockSrc[j] = src[b*c.blockK+j]
+		}
+		one, err := c.inner.EncodeRange(blockSrc, inner, inner+1)
+		if err != nil {
+			return nil, err
+		}
+		out[i-lo] = one[0]
+	}
+	return out, nil
+}
+
 // SourceIndex returns the encoding index of file source packet f (file
 // order: block-major, i.e. packets 0..k-1 are block 0).
 func (c *Codec) SourceIndex(f int) int {

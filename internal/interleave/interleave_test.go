@@ -207,3 +207,42 @@ func TestAddErrors(t *testing.T) {
 		t.Fatal("Source before done")
 	}
 }
+
+// TestEncodeRangeMatchesEncode: carousel-order windows of the interleaved
+// encoding must match the full encoding, with source entries aliased.
+func TestEncodeRangeMatchesEncode(t *testing.T) {
+	c, err := NewForFile(40, 10, 2, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(12))
+	src := make([][]byte, c.K())
+	for i := range src {
+		src[i] = make([]byte, 64)
+		rng.Read(src[i])
+	}
+	full, err := c.Encode(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.N()
+	for _, win := range [][2]int{{0, n}, {0, 7}, {n - 9, n}, {n/2 - 3, n/2 + 3}} {
+		got, err := c.EncodeRange(src, win[0], win[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, p := range got {
+			if !bytes.Equal(p, full[win[0]+i]) {
+				t.Fatalf("packet %d differs from full encoding", win[0]+i)
+			}
+		}
+	}
+	si := c.SourceIndex(0)
+	got, err := c.EncodeRange(src, si, si+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &got[0][0] != &src[0][0] {
+		t.Fatal("source packet copied, want alias")
+	}
+}

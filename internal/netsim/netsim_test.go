@@ -141,12 +141,12 @@ func TestInterleavedWorseThanIdealAtHighLoss(t *testing.T) {
 	k := 1024
 	n := 2 * k
 	blocks := k / 20
-	ideal := Population(200, k, func() Decodability {
+	ideal := Population(200, k, func(*rand.Rand) Decodability {
 		return &ThresholdDecoder{NTotal: n, Need: k}
 	}, func(rng *rand.Rand) LossProcess {
 		return &Bernoulli{P: 0.5, Rng: rng}
 	}, nil, 7)
-	inter := Population(200, k, func() Decodability {
+	inter := Population(200, k, func(*rand.Rand) Decodability {
 		return NewBlockDecoder(n, blocks, 20)
 	}, func(rng *rand.Rand) LossProcess {
 		return &Bernoulli{P: 0.5, Rng: rng}
@@ -201,5 +201,44 @@ func TestVaryingAlternates(t *testing.T) {
 		if v2.Lose() {
 			t.Fatal("lost during initial calm phase")
 		}
+	}
+}
+
+// TestPopulationParallelBitIdentical: the parallel population must produce
+// exactly the serial population's efficiencies — per-receiver RNG makes the
+// result independent of execution order and worker count.
+func TestPopulationParallelBitIdentical(t *testing.T) {
+	k := 512
+	n := 2 * k
+	mkDec := func(rng *rand.Rand) Decodability {
+		// Consume receiver randomness in the factory too, so the test
+		// catches any RNG sharing between construction and simulation.
+		need := k + rng.Intn(k/10)
+		return &ThresholdDecoder{NTotal: n, Need: need}
+	}
+	mkLoss := func(rng *rand.Rand) LossProcess {
+		return &GilbertElliott{PGB: 0.02, PBG: 0.1, LossGood: 0.02, LossBad: 0.6, Rng: rng}
+	}
+	for _, seed := range []int64{1, 7, 1998} {
+		serial := Population(500, k, mkDec, mkLoss, nil, seed)
+		parallel := PopulationParallel(500, k, mkDec, mkLoss, nil, seed)
+		for i := range serial {
+			if serial[i] != parallel[i] {
+				t.Fatalf("seed %d receiver %d: serial %v != parallel %v", seed, i, serial[i], parallel[i])
+			}
+		}
+	}
+	// And different seeds must actually differ.
+	a := Population(50, k, mkDec, mkLoss, nil, 1)
+	b := Population(50, k, mkDec, mkLoss, nil, 2)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("populations identical across different seeds")
 	}
 }

@@ -98,22 +98,125 @@ const (
 
 // Control message types.
 const (
-	msgHello    uint8 = 1
-	msgSession  uint8 = 2
-	controlMag0       = 0xDF // "digital fountain"
-	controlMag1       = 0x98 // 1998
+	msgHello      uint8 = 1
+	msgSession    uint8 = 2
+	msgCatalogReq uint8 = 3
+	msgCatalog    uint8 = 4
+	msgNak        uint8 = 5
+	controlMag0         = 0xDF // "digital fountain"
+	controlMag1         = 0x98 // 1998
 )
 
 const sessionInfoLen = 2 + 2 + 1 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 8 + 4 // magic+type .. interleaveK
 
-// MarshalHello encodes a client hello probe.
+// MarshalHello encodes a client hello probe. A bare hello asks for "the"
+// session — a multi-session service answers with its lowest session id (or
+// use MarshalHelloFor / the catalog for discovery).
 func MarshalHello() []byte {
 	return []byte{controlMag0, controlMag1, msgHello}
 }
 
-// IsHello reports whether buf is a client hello.
+// MarshalHelloFor encodes a hello probe asking for one specific session.
+func MarshalHelloFor(session uint16) []byte {
+	b := []byte{controlMag0, controlMag1, msgHello, 0, 0}
+	binary.BigEndian.PutUint16(b[3:5], session)
+	return b
+}
+
+// IsHello reports whether buf is a client hello (with or without a session
+// id).
 func IsHello(buf []byte) bool {
 	return len(buf) >= 3 && buf[0] == controlMag0 && buf[1] == controlMag1 && buf[2] == msgHello
+}
+
+// HelloSession extracts the session id of a hello probe. ok is false for
+// non-hello messages; a bare hello returns (0, false, true).
+func HelloSession(buf []byte) (session uint16, specific, ok bool) {
+	if !IsHello(buf) {
+		return 0, false, false
+	}
+	if len(buf) >= 5 {
+		return binary.BigEndian.Uint16(buf[3:5]), true, true
+	}
+	return 0, false, true
+}
+
+// MarshalNak encodes a negative control reply: the service is alive but
+// does not carry the requested session (SessionAny-style 0xFFFF means "no
+// sessions at all"). Without it, a typo'd session id and an unreachable
+// server would both look like a control timeout to the client.
+func MarshalNak(session uint16) []byte {
+	b := []byte{controlMag0, controlMag1, msgNak, 0, 0}
+	binary.BigEndian.PutUint16(b[3:5], session)
+	return b
+}
+
+// ParseNak reports whether buf is a negative control reply, and for which
+// session id.
+func ParseNak(buf []byte) (session uint16, ok bool) {
+	if len(buf) < 5 || buf[0] != controlMag0 || buf[1] != controlMag1 || buf[2] != msgNak {
+		return 0, false
+	}
+	return binary.BigEndian.Uint16(buf[3:5]), true
+}
+
+// MarshalCatalogRequest encodes a catalog (session discovery) request.
+func MarshalCatalogRequest() []byte {
+	return []byte{controlMag0, controlMag1, msgCatalogReq}
+}
+
+// IsCatalogRequest reports whether buf is a catalog request.
+func IsCatalogRequest(buf []byte) bool {
+	return len(buf) >= 3 && buf[0] == controlMag0 && buf[1] == controlMag1 && buf[2] == msgCatalogReq
+}
+
+// MaxCatalogEntries is the most sessions one catalog datagram can carry:
+// the marshalled message must stay under the 65,507-byte UDP payload
+// limit, or the control socket's reply would fail with EMSGSIZE and
+// discovery would silently break.
+const MaxCatalogEntries = (65000 - 5) / sessionInfoLen
+
+// MarshalCatalog encodes the announce/catalog message: the descriptors of
+// the sessions a service currently carries, so one control round-trip
+// discovers everything needed to subscribe and decode any of them. A
+// catalog beyond MaxCatalogEntries is truncated to the first entries
+// (callers list sessions lowest-id first, so the surviving prefix is
+// deterministic); clients needing the rest ask for sessions by id.
+func MarshalCatalog(infos []SessionInfo) []byte {
+	if len(infos) > MaxCatalogEntries {
+		infos = infos[:MaxCatalogEntries]
+	}
+	b := make([]byte, 0, 5+len(infos)*sessionInfoLen)
+	b = append(b, controlMag0, controlMag1, msgCatalog)
+	var tmp [2]byte
+	binary.BigEndian.PutUint16(tmp[:], uint16(len(infos)))
+	b = append(b, tmp[:]...)
+	for _, s := range infos {
+		b = append(b, s.Marshal()...)
+	}
+	return b
+}
+
+// ParseCatalog decodes a catalog message.
+func ParseCatalog(buf []byte) ([]SessionInfo, error) {
+	if len(buf) < 5 || buf[0] != controlMag0 || buf[1] != controlMag1 || buf[2] != msgCatalog {
+		return nil, errors.New("proto: not a catalog message")
+	}
+	count := int(binary.BigEndian.Uint16(buf[3:5]))
+	rest := buf[5:]
+	if len(rest) < count*sessionInfoLen {
+		return nil, fmt.Errorf("proto: catalog truncated: %d entries need %d bytes, have %d",
+			count, count*sessionInfoLen, len(rest))
+	}
+	infos := make([]SessionInfo, count)
+	for i := 0; i < count; i++ {
+		s, err := ParseSessionInfo(rest[i*sessionInfoLen:])
+		if err != nil {
+			return nil, fmt.Errorf("proto: catalog entry %d: %w", i, err)
+		}
+		infos[i] = s
+	}
+	return infos, nil
 }
 
 // Marshal encodes the session info control message.

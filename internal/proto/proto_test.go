@@ -96,3 +96,95 @@ func TestFNV64a(t *testing.T) {
 		t.Fatal("order-insensitive hash")
 	}
 }
+
+func TestHelloForSession(t *testing.T) {
+	bare := MarshalHello()
+	if id, specific, ok := HelloSession(bare); !ok || specific || id != 0 {
+		t.Fatalf("bare hello parsed as (%v, %v, %v)", id, specific, ok)
+	}
+	h := MarshalHelloFor(0xDF98)
+	if !IsHello(h) {
+		t.Fatal("hello-for not recognized as hello")
+	}
+	id, specific, ok := HelloSession(h)
+	if !ok || !specific || id != 0xDF98 {
+		t.Fatalf("hello-for parsed as (%#x, %v, %v)", id, specific, ok)
+	}
+	if _, _, ok := HelloSession([]byte("nope")); ok {
+		t.Fatal("garbage parsed as hello")
+	}
+}
+
+func TestCatalogRoundTrip(t *testing.T) {
+	req := MarshalCatalogRequest()
+	if !IsCatalogRequest(req) {
+		t.Fatal("request not recognized")
+	}
+	if IsCatalogRequest(MarshalHello()) || IsHello(req) {
+		t.Fatal("hello/catalog confusion")
+	}
+	infos := []SessionInfo{
+		{Session: 1, Codec: CodecTornadoA, Layers: 4, K: 100, N: 200, PacketLen: 512,
+			FileLen: 50_000, Seed: 1998, BaseRate: 2048, SPInterval: 16, FileHash: 0xAB},
+		{Session: 2, Codec: CodecInterleaved, Layers: 1, K: 400, N: 800, PacketLen: 512,
+			FileLen: 200_000, Seed: -7, BaseRate: 512, SPInterval: 8, FileHash: 0xCD, InterleaveK: 50},
+	}
+	got, err := ParseCatalog(MarshalCatalog(infos))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(infos) {
+		t.Fatalf("got %d entries", len(got))
+	}
+	for i := range infos {
+		if got[i] != infos[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, got[i], infos[i])
+		}
+	}
+	if empty, err := ParseCatalog(MarshalCatalog(nil)); err != nil || len(empty) != 0 {
+		t.Fatalf("empty catalog: %v %v", empty, err)
+	}
+	if _, err := ParseCatalog(MarshalCatalog(infos)[:20]); err == nil {
+		t.Fatal("truncated catalog parsed")
+	}
+	if _, err := ParseCatalog([]byte("junk")); err == nil {
+		t.Fatal("junk parsed as catalog")
+	}
+}
+
+func TestCatalogClampedToDatagram(t *testing.T) {
+	infos := make([]SessionInfo, MaxCatalogEntries+50)
+	for i := range infos {
+		infos[i] = SessionInfo{Session: uint16(i), K: 1, N: 2, PacketLen: 16}
+	}
+	msg := MarshalCatalog(infos)
+	if len(msg) > 65507 {
+		t.Fatalf("catalog datagram %d bytes exceeds UDP payload limit", len(msg))
+	}
+	got, err := ParseCatalog(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != MaxCatalogEntries {
+		t.Fatalf("got %d entries, want clamp at %d", len(got), MaxCatalogEntries)
+	}
+	if got[0].Session != 0 || got[len(got)-1].Session != uint16(MaxCatalogEntries-1) {
+		t.Fatal("clamp did not keep the leading prefix")
+	}
+}
+
+func TestNakRoundTrip(t *testing.T) {
+	id, ok := ParseNak(MarshalNak(0xDF99))
+	if !ok || id != 0xDF99 {
+		t.Fatalf("nak parsed as (%#x, %v)", id, ok)
+	}
+	if _, ok := ParseNak(MarshalHello()); ok {
+		t.Fatal("hello parsed as nak")
+	}
+	if _, ok := ParseNak([]byte("x")); ok {
+		t.Fatal("garbage parsed as nak")
+	}
+	if IsHello(MarshalNak(1)) || IsCatalogRequest(MarshalNak(1)) {
+		t.Fatal("nak confused with requests")
+	}
+}

@@ -226,7 +226,7 @@ func Fig4(w io.Writer, o Options) error {
 			}},
 		}
 		for _, c := range curves {
-			effs := netsim.Population(sample, k, nil2dec(c.mk), func(rng *rand.Rand) netsim.LossProcess {
+			effs := netsim.PopulationParallel(sample, k, c.mk, func(rng *rand.Rand) netsim.LossProcess {
 				return &netsim.Bernoulli{P: p, Rng: rng}
 			}, nil, o.Seed+11)
 			fprintf(w, "  %-18s avg=%.3f  worst-of-R:", c.name, stats.Summarize(effs).Mean)
@@ -237,13 +237,6 @@ func Fig4(w io.Writer, o Options) error {
 		}
 	}
 	return nil
-}
-
-// nil2dec adapts a per-receiver decodability factory that may ignore its
-// rng to the netsim.Population signature.
-func nil2dec(mk func(rng *rand.Rand) netsim.Decodability) func() netsim.Decodability {
-	rng := rand.New(rand.NewSource(12345))
-	return func() netsim.Decodability { return mk(rng) }
 }
 
 // Fig5 regenerates reception efficiency vs file size with 500 receivers at
@@ -284,7 +277,7 @@ func Fig5(w io.Writer, o Options) error {
 				},
 			}
 			for _, mk := range factories {
-				effs := netsim.Population(sample, k, nil2dec(mk), func(rng *rand.Rand) netsim.LossProcess {
+				effs := netsim.PopulationParallel(sample, k, mk, func(rng *rand.Rand) netsim.LossProcess {
 					return &netsim.Bernoulli{P: p, Rng: rng}
 				}, nil, o.Seed+13)
 				row += fmt.Sprintf(" %8.3f/%-13.3f", stats.Summarize(effs).Mean, netsim.WorstOfR(effs, receivers))

@@ -171,6 +171,38 @@ func (c *Cauchy) Encode(src [][]byte) ([][]byte, error) {
 	return out, nil
 }
 
+// EncodeRange implements code.RangeEncoder: every repair packet is an
+// independent bit-matrix inner product over the sources, so any index
+// window can be produced in isolation. Source indices alias src.
+func (c *Cauchy) EncodeRange(src [][]byte, lo, hi int) ([][]byte, error) {
+	if err := code.CheckSrc(src, c.k, c.packetLen); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi < lo || hi > c.n {
+		return nil, fmt.Errorf("rs: encode range [%d,%d) out of [0,%d)", lo, hi, c.n)
+	}
+	out := make([][]byte, hi-lo)
+	var store []byte
+	if rep := hi - max(lo, c.k); rep > 0 {
+		store = make([]byte, rep*c.packetLen)
+	}
+	ri := 0
+	for i := lo; i < hi; i++ {
+		if i < c.k {
+			out[i-lo] = src[i]
+			continue
+		}
+		p := store[ri*c.packetLen : (ri+1)*c.packetLen]
+		ri++
+		r := i - c.k
+		for j := 0; j < c.k; j++ {
+			c.apply(c.coeff(r, j), p, src[j])
+		}
+		out[i-lo] = p
+	}
+	return out, nil
+}
+
 // NewDecoder implements code.Codec.
 func (c *Cauchy) NewDecoder() code.Decoder {
 	return &cauchyDecoder{c: c, have: make(map[int][]byte, c.k)}

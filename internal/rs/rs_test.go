@@ -342,3 +342,60 @@ func TestCauchyScheduleMatchesBitMatrix(t *testing.T) {
 		}
 	}
 }
+
+// TestEncodeRangeMatchesEncode: any window of EncodeRange must equal the
+// corresponding slice of the full encoding, for both RS codecs.
+func TestEncodeRangeMatchesEncode(t *testing.T) {
+	const k, n, pl = 30, 60, 64
+	rng := rand.New(rand.NewSource(11))
+	src := make([][]byte, k)
+	for i := range src {
+		src[i] = make([]byte, pl)
+		rng.Read(src[i])
+	}
+	codecs := []code.Codec{}
+	v, err := NewVandermonde(k, n, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := NewCauchy(k, n, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codecs = append(codecs, v, c)
+	for _, cd := range codecs {
+		full, err := cd.Encode(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		re := cd.(code.RangeEncoder)
+		for _, win := range [][2]int{{0, n}, {0, k}, {k, n}, {k - 3, k + 3}, {n - 5, n}, {17, 17}} {
+			got, err := re.EncodeRange(src, win[0], win[1])
+			if err != nil {
+				t.Fatalf("%s range %v: %v", cd.Name(), win, err)
+			}
+			if len(got) != win[1]-win[0] {
+				t.Fatalf("%s range %v: %d packets", cd.Name(), win, len(got))
+			}
+			for i, p := range got {
+				if !bytes.Equal(p, full[win[0]+i]) {
+					t.Fatalf("%s: packet %d differs from full encoding", cd.Name(), win[0]+i)
+				}
+			}
+		}
+		// Source windows must alias, not copy.
+		got, err := re.EncodeRange(src, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if &got[0][0] != &src[0][0] {
+			t.Fatalf("%s: source packet copied, want alias", cd.Name())
+		}
+		if _, err := re.EncodeRange(src, -1, 2); err == nil {
+			t.Fatalf("%s: negative lo accepted", cd.Name())
+		}
+		if _, err := re.EncodeRange(src, 0, n+1); err == nil {
+			t.Fatalf("%s: hi > n accepted", cd.Name())
+		}
+	}
+}

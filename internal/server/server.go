@@ -1,9 +1,10 @@
-// Package server drives a digital-fountain session onto a transport: it
-// walks the carousel schedule round by round, stamps headers (serials per
-// layer, SP and burst flags) and hands packets to the substrate. The engine
+// Package server drives a digital-fountain session onto a transport. The
+// carousel iteration itself — rounds, serials, SP/burst header stamping —
+// lives in core.Carousel; the engine adds transport binding and pacing. It
 // is clock-agnostic: Step sends one round synchronously (used by the
 // virtual-time experiments), Run paces rounds in real time (used by the
-// UDP prototype binary).
+// UDP prototype binary). Multi-session pacing with lifecycle management is
+// internal/service, which drives one core.Carousel per registered session.
 package server
 
 import (
@@ -11,7 +12,6 @@ import (
 	"time"
 
 	"repro/internal/core"
-	"repro/internal/proto"
 )
 
 // Sender is the transmit side of a transport (transport.Bus and
@@ -22,55 +22,25 @@ type Sender interface {
 
 // Engine transmits one session.
 type Engine struct {
-	sess    *core.Session
-	tx      Sender
-	serials []uint32
-	round   int
-	sent    int
+	car *core.Carousel
+	tx  Sender
 }
 
 // New constructs an engine for the session over the given sender.
 func New(sess *core.Session, tx Sender) *Engine {
-	return &Engine{sess: sess, tx: tx, serials: make([]uint32, sess.Config().Layers)}
+	return &Engine{car: core.NewCarousel(sess), tx: tx}
 }
 
 // Round returns the next round number to be sent.
-func (e *Engine) Round() int { return e.round }
+func (e *Engine) Round() int { return e.car.Round() }
 
 // Sent returns the total number of packets handed to the transport.
-func (e *Engine) Sent() int { return e.sent }
+func (e *Engine) Sent() int { return e.car.Sent() }
 
 // Step transmits one full round across all layers and advances the round
-// counter. The first packet of an SP round carries the SP flag; packets of
-// a burst round carry the burst flag (the doubled instantaneous rate of
-// §7.1.1 is applied by Run's pacing, not by duplicating content).
+// counter.
 func (e *Engine) Step() error {
-	round := e.round
-	e.round++
-	layers := e.sess.Config().Layers
-	for layer := 0; layer < layers; layer++ {
-		idxs := e.sess.CarouselIndices(layer, round)
-		var flags uint8
-		if e.sess.IsSP(layer, round) {
-			flags |= proto.FlagSP
-		}
-		if e.sess.BurstRound(layer, round) {
-			flags |= proto.FlagBurst
-		}
-		for pi, idx := range idxs {
-			f := flags
-			if pi > 0 {
-				f &^= proto.FlagSP // SP marks only the round's first packet
-			}
-			e.serials[layer]++
-			pkt := e.sess.Packet(idx, uint8(layer), e.serials[layer], f)
-			if err := e.tx.Send(layer, pkt); err != nil {
-				return err
-			}
-			e.sent++
-		}
-	}
-	return nil
+	return e.car.NextRound(e.tx.Send)
 }
 
 // Run paces Step in real time so that the base layer emits approximately
@@ -78,19 +48,7 @@ func (e *Engine) Step() error {
 // rounds are sent back-to-back with their predecessor (double instantaneous
 // rate).
 func (e *Engine) Run(ctx context.Context, baseRate int) error {
-	if baseRate <= 0 {
-		baseRate = 512
-	}
-	n := e.sess.Codec().N()
-	g := e.sess.Config().Layers
-	blockSize := 1 << uint(g-1)
-	blocks := (n + blockSize - 1) / blockSize
-	perRound := blocks // layer 0 sends one slot per block per round
-	interval := time.Second * time.Duration(perRound) / time.Duration(baseRate)
-	if interval <= 0 {
-		interval = time.Millisecond
-	}
-	ticker := time.NewTicker(interval)
+	ticker := time.NewTicker(PaceInterval(e.car.Session(), baseRate))
 	defer ticker.Stop()
 	for {
 		select {
@@ -101,11 +59,33 @@ func (e *Engine) Run(ctx context.Context, baseRate int) error {
 				return err
 			}
 			// Double rate during bursts: immediately send the next round.
-			if e.sess.BurstRound(0, e.round) {
+			if e.car.BurstNext() {
 				if err := e.Step(); err != nil {
 					return err
 				}
 			}
 		}
 	}
+}
+
+// PaceInterval returns the inter-round interval that makes the session's
+// base layer emit approximately baseRate packets per second. In layered
+// mode layer 0 sends one slot per reverse-binary block per round; the
+// single-layer carousel sends exactly one packet per round. baseRate <= 0
+// defaults to 512.
+func PaceInterval(sess *core.Session, baseRate int) time.Duration {
+	if baseRate <= 0 {
+		baseRate = 512
+	}
+	perRound := 1 // single-layer randomized carousel: one packet per round
+	if g := sess.Config().Layers; g > 1 {
+		n := sess.Codec().N()
+		blockSize := 1 << uint(g-1)
+		perRound = (n + blockSize - 1) / blockSize // one slot per block per round
+	}
+	interval := time.Second * time.Duration(perRound) / time.Duration(baseRate)
+	if interval <= 0 {
+		interval = time.Millisecond
+	}
+	return interval
 }

@@ -1,0 +1,268 @@
+// Package service is the multi-session fountain server core: a registry of
+// concurrent sessions keyed by the 12-byte-header session id, one paced
+// sender goroutine per session (each driving its own core.Carousel), a
+// shared bounded cache for lazily encoded repair blocks, and the control
+// handler that answers hello and catalog probes.
+//
+// This is the shape the paper argues for in §1/§7 — a fountain server is
+// stateless per receiver, so one process can carry many files for many
+// heterogeneous receiver populations at once; all per-receiver state lives
+// at the receivers. The service adds only per-session state: a carousel
+// position and a rate.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/proto"
+	"repro/internal/server"
+	"repro/internal/transport"
+)
+
+// Config tunes a service instance.
+type Config struct {
+	// CacheBytes bounds the shared lazy-encoding block cache
+	// (0 = 64 MiB). Sessions whose codec supports range encoding keep only
+	// their source packets resident plus at most this many repair bytes in
+	// total, instead of full stretch-factor-n materialization each.
+	CacheBytes int64
+	// BaseRate is the default base-layer pacing in packets/second for
+	// sessions added without an explicit rate (0 = 512).
+	BaseRate int
+}
+
+// Stats is a snapshot of the service counters.
+type Stats struct {
+	Sessions    int    // registered sessions
+	PacketsSent uint64 // data packets handed to the transport
+	BytesSent   uint64 // data bytes handed to the transport
+	SendErrors  uint64 // transport send failures (packets dropped)
+	CacheUsed   int64  // bytes currently held by the shared block cache
+	CachePeak   int64  // high-water mark of the shared block cache
+	CacheHits   uint64
+	CacheMisses uint64
+}
+
+type entry struct {
+	sess   *core.Session
+	rate   int
+	cancel context.CancelFunc
+	done   chan struct{}
+}
+
+// Service runs any number of fountain sessions over one transport.
+type Service struct {
+	cfg    Config
+	tx     server.Sender
+	cache  *core.BlockCache
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu       sync.Mutex
+	sessions map[uint16]*entry
+	closed   bool
+
+	packets    atomic.Uint64
+	bytes      atomic.Uint64
+	sendErrors atomic.Uint64
+}
+
+// New creates a service transmitting on tx. Close releases it.
+func New(tx server.Sender, cfg Config) *Service {
+	if cfg.CacheBytes <= 0 {
+		cfg.CacheBytes = 64 << 20
+	}
+	if cfg.BaseRate <= 0 {
+		cfg.BaseRate = 512
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Service{
+		cfg:      cfg,
+		tx:       tx,
+		cache:    core.NewBlockCache(cfg.CacheBytes),
+		ctx:      ctx,
+		cancel:   cancel,
+		sessions: make(map[uint16]*entry),
+	}
+}
+
+// Cache exposes the shared block cache (for inspection and tests).
+func (s *Service) Cache() *core.BlockCache { return s.cache }
+
+// AddData encodes data under cfg — lazily, against the shared cache, when
+// the codec supports it — registers the session under cfg.Session, and
+// starts its paced sender. rate <= 0 uses the service default.
+func (s *Service) AddData(data []byte, cfg core.Config, rate int) (*core.Session, error) {
+	sess, err := core.NewSessionCached(data, cfg, s.cache)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.Add(sess, rate); err != nil {
+		return nil, err
+	}
+	return sess, nil
+}
+
+// Add registers an existing session and starts its paced sender goroutine.
+// The session id (Config().Session) must be unused and must not be the
+// transport wildcard.
+func (s *Service) Add(sess *core.Session, rate int) error {
+	if rate <= 0 {
+		rate = s.cfg.BaseRate
+	}
+	id := sess.Config().Session
+	if id == transport.SessionAny {
+		return fmt.Errorf("service: session id %#x is the wildcard id", id)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("service: closed")
+	}
+	if _, dup := s.sessions[id]; dup {
+		return fmt.Errorf("service: session id %#x already registered", id)
+	}
+	ctx, cancel := context.WithCancel(s.ctx)
+	e := &entry{sess: sess, rate: rate, cancel: cancel, done: make(chan struct{})}
+	s.sessions[id] = e
+	go s.run(ctx, e)
+	return nil
+}
+
+// run is one session's sender: server.Engine's real-time pacing over a
+// counting transport wrapper, so the service owns only lifecycle and
+// counters and any pacing fix lands in exactly one place.
+func (s *Service) run(ctx context.Context, e *entry) {
+	defer close(e.done)
+	server.New(e.sess, countingSender{s}).Run(ctx, e.rate)
+}
+
+// countingSender forwards to the service transport, counting traffic.
+// Transport errors are counted and the packet dropped — a fountain
+// retransmits everything eventually, so a lost send is indistinguishable
+// from network loss and must not kill the session's sender.
+type countingSender struct{ s *Service }
+
+func (c countingSender) Send(layer int, pkt []byte) error {
+	if err := c.s.tx.Send(layer, pkt); err != nil {
+		c.s.sendErrors.Add(1)
+		return nil
+	}
+	c.s.packets.Add(1)
+	c.s.bytes.Add(uint64(len(pkt)))
+	return nil
+}
+
+// Remove stops a session's sender, waits for it to exit, and drops the
+// session's blocks from the shared cache.
+func (s *Service) Remove(id uint16) error {
+	s.mu.Lock()
+	e, ok := s.sessions[id]
+	if ok {
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("service: unknown session %#x", id)
+	}
+	e.cancel()
+	<-e.done
+	s.cache.Drop(e.sess)
+	return nil
+}
+
+// Lookup returns the control descriptor of one session.
+func (s *Service) Lookup(id uint16) (proto.SessionInfo, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.sessions[id]
+	if !ok {
+		return proto.SessionInfo{}, false
+	}
+	return s.describe(e), true
+}
+
+func (s *Service) describe(e *entry) proto.SessionInfo {
+	info := e.sess.Info()
+	info.BaseRate = uint32(e.rate)
+	return info
+}
+
+// Catalog returns the descriptors of all registered sessions, ordered by
+// session id (deterministic announce order).
+func (s *Service) Catalog() []proto.SessionInfo {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]proto.SessionInfo, 0, len(s.sessions))
+	for _, e := range s.sessions {
+		out = append(out, s.describe(e))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Session < out[j].Session })
+	return out
+}
+
+// HandleControl answers one control datagram (nil = no reply), in the shape
+// transport.ServeControlFunc expects: catalog requests get the announce
+// message; a hello for a specific session gets that session's descriptor; a
+// bare legacy hello gets the lowest-id session. A hello for a session the
+// service does not carry gets a NAK, so clients can tell a wrong id from a
+// dead server.
+func (s *Service) HandleControl(req []byte) []byte {
+	if proto.IsCatalogRequest(req) {
+		return proto.MarshalCatalog(s.Catalog())
+	}
+	if id, specific, ok := proto.HelloSession(req); ok {
+		if specific {
+			if info, found := s.Lookup(id); found {
+				return info.Marshal()
+			}
+			return proto.MarshalNak(id)
+		}
+		if cat := s.Catalog(); len(cat) > 0 {
+			return cat[0].Marshal()
+		}
+		return proto.MarshalNak(transport.SessionAny)
+	}
+	return nil
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	s.mu.Lock()
+	n := len(s.sessions)
+	s.mu.Unlock()
+	hits, misses := s.cache.Stats()
+	return Stats{
+		Sessions:    n,
+		PacketsSent: s.packets.Load(),
+		BytesSent:   s.bytes.Load(),
+		SendErrors:  s.sendErrors.Load(),
+		CacheUsed:   s.cache.Used(),
+		CachePeak:   s.cache.Peak(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+	}
+}
+
+// Close stops every sender goroutine and waits for them to exit. The
+// service cannot be reused afterwards.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	entries := make([]*entry, 0, len(s.sessions))
+	for id, e := range s.sessions {
+		entries = append(entries, e)
+		delete(s.sessions, id)
+	}
+	s.mu.Unlock()
+	s.cancel()
+	for _, e := range entries {
+		<-e.done
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/proto"
 )
 
 func TestBusDeliveryAndLevels(t *testing.T) {
@@ -143,4 +144,145 @@ func TestControlRoundTrip(t *testing.T) {
 	if !bytes.Equal(got, reply) {
 		t.Fatalf("got %v", got)
 	}
+}
+
+// TestUDPSessionMux: one socket, two sessions, session-specific clients —
+// each client must receive only its session's packets, while a wildcard
+// client sees both.
+func TestUDPSessionMux(t *testing.T) {
+	srv, err := NewUDPServer("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	mkPkt := func(session uint16, payload byte) []byte {
+		h := proto.Header{Index: 1, Serial: 1, Group: 0, Session: session}
+		return append(h.Marshal(nil), payload)
+	}
+	cliA, err := NewUDPClientSession(srv.Addr(), 0xAAAA, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliA.Close()
+	cliB, err := NewUDPClientSession(srv.Addr(), 0xBBBB, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliB.Close()
+	cliAny, err := NewUDPClient(srv.Addr(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cliAny.Close()
+	deadline := time.Now().Add(2 * time.Second)
+	for srv.SessionSubscribers(0xAAAA, 0) == 0 || srv.SessionSubscribers(0xBBBB, 0) == 0 ||
+		srv.SessionSubscribers(SessionAny, 0) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriptions never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Subscribers(0); got != 3 {
+		t.Fatalf("layer-0 subscriber union = %d, want 3", got)
+	}
+	for i := 0; i < 5; i++ {
+		if err := srv.Send(0, mkPkt(0xAAAA, 'a')); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Send(0, mkPkt(0xBBBB, 'b')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvSessions := func(cli *UDPClient, n int) map[uint16]int {
+		got := map[uint16]int{}
+		for i := 0; i < n; i++ {
+			pkt, ok := cli.Recv(time.Second)
+			if !ok {
+				break
+			}
+			h, _, err := proto.ParseHeader(pkt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got[h.Session]++
+		}
+		return got
+	}
+	gotA := recvSessions(cliA, 5)
+	if gotA[0xAAAA] == 0 || gotA[0xBBBB] != 0 {
+		t.Fatalf("session-A client saw %v", gotA)
+	}
+	gotB := recvSessions(cliB, 5)
+	if gotB[0xBBBB] == 0 || gotB[0xAAAA] != 0 {
+		t.Fatalf("session-B client saw %v", gotB)
+	}
+	gotAny := recvSessions(cliAny, 10)
+	if gotAny[0xAAAA] == 0 || gotAny[0xBBBB] == 0 {
+		t.Fatalf("wildcard client saw %v", gotAny)
+	}
+}
+
+// TestUDPServerCloseJoinsLoop: Close must not return before the membership
+// goroutine has exited (teardown race / goroutine leak under -race). The
+// concurrent subscriber traffic makes a non-joined loop's socket reads
+// visible to the race detector.
+func TestUDPServerCloseJoinsLoop(t *testing.T) {
+	for i := 0; i < 20; i++ {
+		srv, err := NewUDPServer("127.0.0.1:0", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := NewUDPClient(srv.Addr(), 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			for j := 0; j < 50; j++ {
+				cli.SetLevel(j % 2)
+			}
+		}()
+		time.Sleep(time.Millisecond)
+		if err := srv.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := srv.Close(); err != nil { // idempotent
+			t.Fatal(err)
+		}
+		select {
+		case <-srv.loopDone:
+		default:
+			t.Fatal("Close returned before membershipLoop exited")
+		}
+		<-done
+		cli.Close()
+		if err := cli.SetLevel(1); err == nil {
+			t.Fatal("SetLevel succeeded on closed client")
+		}
+	}
+}
+
+// TestServeControlFuncStopJoins: stop must wait for the control read loop.
+func TestServeControlFuncStopJoins(t *testing.T) {
+	calls := 0
+	addr, stop, err := ServeControlFunc("127.0.0.1:0", func(req []byte) []byte {
+		calls++
+		if len(req) == 1 && req[0] == 7 {
+			return []byte{8}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := RequestSessionInfo(addr, []byte{7}, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0] != 8 {
+		t.Fatalf("reply %v", got)
+	}
+	stop()
+	stop() // idempotent
 }

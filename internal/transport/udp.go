@@ -6,20 +6,46 @@ import (
 	"net"
 	"sync"
 	"time"
+
+	"repro/internal/proto"
 )
 
 // The UDP substrate emulates per-group multicast membership with explicit
-// subscribe/unsubscribe datagrams (a stand-in for IGMP): a client sends
-// "SUB\x01<layer>" / "SUB\x00<layer>" to the server's data port, and the
-// server unicasts each layer's packets to the addresses subscribed to it.
+// subscribe/unsubscribe datagrams (a stand-in for IGMP). One server socket
+// multiplexes any number of fountain sessions: a subscription names a
+// (session, layer) pair, and Send routes each packet to the subscribers of
+// the session id carried in its 12-byte header. The wire format is
+//
+//	"SUB" <join:1> <layer:1>                     legacy: all sessions
+//	"SUB" <join:1> <layer:1> <session:2 BE>      one session
+//
+// sent to the server's data port. SessionAny (0xFFFF) in the long form also
+// means "all sessions".
 
-// UDPServer owns the data socket and the per-layer subscriber sets.
+// SessionAny is the wildcard session id: a subscription carrying it
+// receives the named layer of every session the socket serves. Real session
+// ids must not use this value.
+const SessionAny uint16 = 0xFFFF
+
+type subKey struct {
+	session uint16
+	layer   uint8
+}
+
+// UDPServer owns the data socket and the per-(session, layer) subscriber
+// sets. It satisfies server.Sender: Send(layer, pkt) parses the session id
+// out of the packet header and unicasts to that session's subscribers plus
+// any wildcard subscribers — so one socket serves a whole multi-session
+// service with no per-session sockets.
 type UDPServer struct {
-	conn   *net.UDPConn
-	layers int
-	mu     sync.Mutex
-	subs   []map[string]*net.UDPAddr // per layer
-	done   chan struct{}
+	conn     *net.UDPConn
+	layers   int
+	mu       sync.Mutex
+	subs     map[subKey]map[string]*net.UDPAddr
+	done     chan struct{}
+	loopDone chan struct{}
+	closing  sync.Once
+	closeErr error
 }
 
 // NewUDPServer listens on addr (e.g. "127.0.0.1:0") and serves `layers`
@@ -33,10 +59,12 @@ func NewUDPServer(addr string, layers int) (*UDPServer, error) {
 	if err != nil {
 		return nil, err
 	}
-	s := &UDPServer{conn: conn, layers: layers, done: make(chan struct{})}
-	s.subs = make([]map[string]*net.UDPAddr, layers)
-	for i := range s.subs {
-		s.subs[i] = make(map[string]*net.UDPAddr)
+	s := &UDPServer{
+		conn:     conn,
+		layers:   layers,
+		subs:     make(map[subKey]map[string]*net.UDPAddr),
+		done:     make(chan struct{}),
+		loopDone: make(chan struct{}),
 	}
 	go s.membershipLoop()
 	return s, nil
@@ -46,6 +74,7 @@ func NewUDPServer(addr string, layers int) (*UDPServer, error) {
 func (s *UDPServer) Addr() *net.UDPAddr { return s.conn.LocalAddr().(*net.UDPAddr) }
 
 func (s *UDPServer) membershipLoop() {
+	defer close(s.loopDone)
 	buf := make([]byte, 64)
 	for {
 		n, from, err := s.conn.ReadFromUDP(buf)
@@ -63,26 +92,60 @@ func (s *UDPServer) membershipLoop() {
 			if layer < 0 || layer >= s.layers {
 				continue
 			}
+			session := SessionAny
+			if n >= 7 {
+				session = uint16(buf[5])<<8 | uint16(buf[6])
+			}
+			key := subKey{session, uint8(layer)}
 			s.mu.Lock()
 			if join {
-				s.subs[layer][from.String()] = from
-			} else {
-				delete(s.subs[layer], from.String())
+				set := s.subs[key]
+				if set == nil {
+					set = make(map[string]*net.UDPAddr)
+					s.subs[key] = set
+				}
+				set[from.String()] = from
+			} else if set := s.subs[key]; set != nil {
+				delete(set, from.String())
+				if len(set) == 0 {
+					delete(s.subs, key)
+				}
 			}
 			s.mu.Unlock()
 		}
 	}
 }
 
-// Send unicasts pkt to every subscriber of the layer.
+// Send unicasts pkt to every subscriber of the packet's (session, layer):
+// the session id is read from the proto header, and wildcard subscribers of
+// the layer receive every session. Packets too short to carry a header go
+// to wildcard subscribers only.
 func (s *UDPServer) Send(layer int, pkt []byte) error {
 	if layer < 0 || layer >= s.layers {
 		return fmt.Errorf("transport: layer %d out of range", layer)
 	}
+	session := SessionAny
+	if h, _, err := proto.ParseHeader(pkt); err == nil {
+		session = h.Session
+	}
 	s.mu.Lock()
-	addrs := make([]*net.UDPAddr, 0, len(s.subs[layer]))
-	for _, a := range s.subs[layer] {
-		addrs = append(addrs, a)
+	wild := s.subs[subKey{SessionAny, uint8(layer)}]
+	var specific map[string]*net.UDPAddr
+	if session != SessionAny {
+		specific = s.subs[subKey{session, uint8(layer)}]
+	}
+	addrs := make([]*net.UDPAddr, 0, len(wild)+len(specific))
+	for _, ua := range wild {
+		addrs = append(addrs, ua)
+	}
+	for a, ua := range specific {
+		// Dedup against wildcard only when both sets are live (rare).
+		if len(wild) > 0 {
+			if _, dup := wild[a]; dup {
+				continue
+			}
+		}
+		addrs = append(addrs, ua)
 	}
 	s.mu.Unlock()
 	for _, a := range addrs {
@@ -93,39 +156,72 @@ func (s *UDPServer) Send(layer int, pkt []byte) error {
 	return nil
 }
 
-// Subscribers returns the subscriber count of a layer.
+// Subscribers returns the number of distinct addresses subscribed to a
+// layer across all sessions (including wildcard subscriptions).
 func (s *UDPServer) Subscribers(layer int) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
 	if layer < 0 || layer >= s.layers {
 		return 0
 	}
-	return len(s.subs[layer])
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	seen := make(map[string]struct{})
+	for key, set := range s.subs {
+		if key.layer == uint8(layer) {
+			for a := range set {
+				seen[a] = struct{}{}
+			}
+		}
+	}
+	return len(seen)
 }
 
-// Close shuts the socket down.
+// SessionSubscribers returns the subscriber count of one (session, layer)
+// pair (wildcard subscribers are not counted; pass SessionAny for those).
+func (s *UDPServer) SessionSubscribers(session uint16, layer int) int {
+	if layer < 0 || layer >= s.layers {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.subs[subKey{session, uint8(layer)}])
+}
+
+// Close shuts the socket down and waits for the membership goroutine to
+// exit, so no reads race a caller that frees resources after Close.
 func (s *UDPServer) Close() error {
-	close(s.done)
-	return s.conn.Close()
+	s.closing.Do(func() {
+		close(s.done)
+		s.closeErr = s.conn.Close()
+		<-s.loopDone
+	})
+	return s.closeErr
 }
 
-// UDPClient is the receiver side of the UDP substrate.
+// UDPClient is the receiver side of the UDP substrate, subscribed to one
+// session (or SessionAny for the legacy single-session behaviour).
 type UDPClient struct {
-	conn   *net.UDPConn
-	server *net.UDPAddr
-	mu     sync.Mutex
-	level  int
-	closed bool
+	conn    *net.UDPConn
+	server  *net.UDPAddr
+	session uint16
+	mu      sync.Mutex
+	level   int
+	closed  bool
 }
 
 // NewUDPClient dials the server's data port and subscribes to layers
-// 0..level.
+// 0..level of every session the server carries (wildcard).
 func NewUDPClient(server *net.UDPAddr, level int) (*UDPClient, error) {
+	return NewUDPClientSession(server, SessionAny, level)
+}
+
+// NewUDPClientSession dials the server's data port and subscribes to layers
+// 0..level of one session.
+func NewUDPClientSession(server *net.UDPAddr, session uint16, level int) (*UDPClient, error) {
 	conn, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
 	if err != nil {
 		return nil, err
 	}
-	c := &UDPClient{conn: conn, server: server, level: -1}
+	c := &UDPClient{conn: conn, server: server, session: session, level: -1}
 	if err := c.SetLevel(level); err != nil {
 		conn.Close()
 		return nil, err
@@ -133,10 +229,17 @@ func NewUDPClient(server *net.UDPAddr, level int) (*UDPClient, error) {
 	return c, nil
 }
 
+// Session returns the session id the client subscribes to (SessionAny for
+// wildcard clients).
+func (c *UDPClient) Session() uint16 { return c.session }
+
 func (c *UDPClient) sendSub(layer int, join bool) error {
-	b := []byte{'S', 'U', 'B', 0, byte(layer)}
+	b := []byte{'S', 'U', 'B', 0, byte(layer), byte(c.session >> 8), byte(c.session)}
 	if join {
 		b[3] = 1
+	}
+	if c.session == SessionAny {
+		b = b[:5] // legacy short form
 	}
 	_, err := c.conn.WriteToUDP(b, c.server)
 	return err
@@ -146,6 +249,9 @@ func (c *UDPClient) sendSub(layer int, join bool) error {
 func (c *UDPClient) SetLevel(level int) error {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("transport: client closed")
+	}
 	for l := c.level + 1; l <= level; l++ {
 		if err := c.sendSub(l, true); err != nil {
 			return err
@@ -179,7 +285,9 @@ func (c *UDPClient) Recv(timeout time.Duration) (pkt []byte, ok bool) {
 	return buf[:n], true
 }
 
-// Close leaves all groups and closes the socket.
+// Close leaves all groups and closes the socket. The client runs no
+// background goroutine, so — unlike UDPServer.Close — there is nothing to
+// join; a concurrent Recv simply returns ok=false once the socket closes.
 func (c *UDPClient) Close() error {
 	c.mu.Lock()
 	if c.closed {
@@ -188,10 +296,10 @@ func (c *UDPClient) Close() error {
 	}
 	c.closed = true
 	level := c.level
-	c.mu.Unlock()
 	for l := 0; l <= level; l++ {
 		c.sendSub(l, false)
 	}
+	c.mu.Unlock()
 	return c.conn.Close()
 }
 
@@ -207,7 +315,7 @@ func RequestSessionInfo(control *net.UDPAddr, hello []byte, timeout time.Duratio
 		return nil, err
 	}
 	conn.SetReadDeadline(time.Now().Add(timeout))
-	buf := make([]byte, 4096)
+	buf := make([]byte, 65536)
 	n, err := conn.Read(buf)
 	if err != nil {
 		return nil, errors.New("transport: control request timed out")
@@ -215,9 +323,10 @@ func RequestSessionInfo(control *net.UDPAddr, hello []byte, timeout time.Duratio
 	return buf[:n], nil
 }
 
-// ServeControl answers hello datagrams on addr with the given payload
-// until the returned stop function is called.
-func ServeControl(addr string, isHello func([]byte) bool, reply []byte) (local *net.UDPAddr, stop func(), err error) {
+// ServeControlFunc answers control datagrams on addr: every received
+// datagram is passed to handle, and a non-nil reply is sent back to the
+// requester. stop closes the socket and waits for the read loop to exit.
+func ServeControlFunc(addr string, handle func(req []byte) []byte) (local *net.UDPAddr, stop func(), err error) {
 	ua, err := net.ResolveUDPAddr("udp", addr)
 	if err != nil {
 		return nil, nil, err
@@ -227,8 +336,10 @@ func ServeControl(addr string, isHello func([]byte) bool, reply []byte) (local *
 		return nil, nil, err
 	}
 	done := make(chan struct{})
+	loopDone := make(chan struct{})
 	go func() {
-		buf := make([]byte, 256)
+		defer close(loopDone)
+		buf := make([]byte, 4096)
 		for {
 			n, from, err := conn.ReadFromUDP(buf)
 			if err != nil {
@@ -239,10 +350,30 @@ func ServeControl(addr string, isHello func([]byte) bool, reply []byte) (local *
 					continue
 				}
 			}
-			if isHello(buf[:n]) {
+			if reply := handle(buf[:n]); reply != nil {
 				conn.WriteToUDP(reply, from)
 			}
 		}
 	}()
-	return conn.LocalAddr().(*net.UDPAddr), func() { close(done); conn.Close() }, nil
+	var once sync.Once
+	stop = func() {
+		once.Do(func() {
+			close(done)
+			conn.Close()
+			<-loopDone
+		})
+	}
+	return conn.LocalAddr().(*net.UDPAddr), stop, nil
+}
+
+// ServeControl answers hello datagrams on addr with a fixed payload until
+// the returned stop function is called (the single-session legacy shape of
+// ServeControlFunc).
+func ServeControl(addr string, isHello func([]byte) bool, reply []byte) (local *net.UDPAddr, stop func(), err error) {
+	return ServeControlFunc(addr, func(req []byte) []byte {
+		if isHello(req) {
+			return reply
+		}
+		return nil
+	})
 }
