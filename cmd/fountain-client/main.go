@@ -4,11 +4,19 @@
 // level at synchronization points, and writes each reconstructed file once
 // its decoder reports completion.
 //
+// With repeated -server flags the client harvests the session from several
+// mirrors at once (§8 "mirrored data"): every mirror's packets land in one
+// decoder, loss is measured per mirror, and the subscription level follows
+// the worst mirror. No mirror coordination is needed — staggered carousel
+// phases (servers advertise theirs in the catalog) keep early duplicates
+// near zero.
+//
 // Usage:
 //
 //	fountain-client -control 127.0.0.1:9001 -data 127.0.0.1:9000 -list
 //	fountain-client -control ... -data ... -session 0xDF98 -out copy.bin
 //	fountain-client -control ... -data ... -all -out download
+//	fountain-client -control ... -server 10.0.0.1:9000 -server 10.0.0.2:9000 -session 0xDF98
 //
 // With neither -session nor -all, the server's default (lowest-id) session
 // is fetched, as the one-session prototype did.
@@ -29,10 +37,16 @@ import (
 	"repro/internal/transport"
 )
 
+type addrList []string
+
+func (a *addrList) String() string     { return fmt.Sprint(*a) }
+func (a *addrList) Set(s string) error { *a = append(*a, s); return nil }
+
 func main() {
+	var servers addrList
 	var (
 		ctrlAddr = flag.String("control", "127.0.0.1:9001", "server control address")
-		dataAddr = flag.String("data", "127.0.0.1:9000", "server data address")
+		dataAddr = flag.String("data", "127.0.0.1:9000", "server data address (ignored when -server is given)")
 		out      = flag.String("out", "download.bin", "output file (suffixed with the session id under -all)")
 		level    = flag.Int("level", 0, "initial subscription level")
 		timeout  = flag.Duration("timeout", 10*time.Minute, "give up after this long")
@@ -40,6 +54,7 @@ func main() {
 		all      = flag.Bool("all", false, "fetch every session in the catalog concurrently")
 		list     = flag.Bool("list", false, "print the catalog and exit")
 	)
+	flag.Var(&servers, "server", "mirror data address carrying the same session (repeatable)")
 	flag.Parse()
 
 	if *all && *sessArg != "" {
@@ -49,9 +64,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	data, err := net.ResolveUDPAddr("udp", *dataAddr)
-	if err != nil {
-		log.Fatal(err)
+	if len(servers) == 0 {
+		servers = addrList{*dataAddr}
+	}
+	mirrors := make([]*net.UDPAddr, len(servers))
+	for i, s := range servers {
+		if mirrors[i], err = net.ResolveUDPAddr("udp", s); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	if *list || *all {
@@ -66,8 +86,8 @@ func main() {
 		if *list {
 			fmt.Printf("fountain-client: %d sessions\n", len(catalog))
 			for _, info := range catalog {
-				fmt.Printf("  session %#04x codec=%d k=%d n=%d layers=%d rate=%d file=%d bytes\n",
-					info.Session, info.Codec, info.K, info.N, info.Layers, info.BaseRate, info.FileLen)
+				fmt.Printf("  session %#04x codec=%d k=%d n=%d layers=%d rate=%d phase=%d file=%d bytes\n",
+					info.Session, info.Codec, info.K, info.N, info.Layers, info.BaseRate, info.Phase, info.FileLen)
 			}
 			return
 		}
@@ -81,7 +101,7 @@ func main() {
 			go func(info proto.SessionInfo) {
 				defer wg.Done()
 				name := fmt.Sprintf("%s.%04x", *out, info.Session)
-				if err := download(info, data, name, *level, *timeout); err != nil {
+				if err := download(info, mirrors, name, *level, *timeout); err != nil {
 					failed <- fmt.Errorf("session %#x: %w", info.Session, err)
 				}
 			}(info)
@@ -121,28 +141,28 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("fountain-client: session %#x codec=%d k=%d n=%d layers=%d file=%d bytes\n",
-		info.Session, info.Codec, info.K, info.N, info.Layers, info.FileLen)
-	if err := download(info, data, *out, *level, *timeout); err != nil {
+	fmt.Printf("fountain-client: session %#x codec=%d k=%d n=%d layers=%d file=%d bytes (%d mirrors)\n",
+		info.Session, info.Codec, info.K, info.N, info.Layers, info.FileLen, len(mirrors))
+	if err := download(info, mirrors, *out, *level, *timeout); err != nil {
 		log.Fatal(err)
 	}
 }
 
-// download fetches one session over its own UDP subscription and writes the
-// reconstructed file. Each concurrent download has an independent socket,
-// decoder, and congestion controller — the server keeps no state for any of
-// them.
-func download(info proto.SessionInfo, data *net.UDPAddr, out string, level int, timeout time.Duration) error {
+// download fetches one session from every mirror at once and writes the
+// reconstructed file. Each concurrent download has independent sockets,
+// decoder, and congestion controllers — no server keeps state for any of
+// them, and the mirrors never hear of each other.
+func download(info proto.SessionInfo, mirrors []*net.UDPAddr, out string, level int, timeout time.Duration) error {
 	if level >= int(info.Layers) {
 		level = int(info.Layers) - 1
 	}
-	udp, err := transport.NewUDPClientSession(data, info.Session, level)
+	mc, err := transport.NewMultiClient(mirrors, info.Session, level)
 	if err != nil {
 		return err
 	}
-	defer udp.Close()
-	eng, err := client.New(info, level, func(l int) {
-		if err := udp.SetLevel(l); err != nil {
+	defer mc.Close()
+	eng, err := client.NewMultiSource(info, len(mirrors), level, func(l int) {
+		if err := mc.SetLevel(l); err != nil {
 			log.Printf("session %#x: subscription change failed: %v", info.Session, err)
 		}
 	})
@@ -154,11 +174,11 @@ func download(info proto.SessionInfo, data *net.UDPAddr, out string, level int, 
 		if time.Now().After(deadline) {
 			return fmt.Errorf("timed out after %v", timeout)
 		}
-		pkt, ok := udp.Recv(2 * time.Second)
+		src, pkt, ok := mc.Recv(2 * time.Second)
 		if !ok {
 			continue
 		}
-		if _, err := eng.HandlePacket(pkt); err != nil {
+		if _, err := eng.HandlePacketFrom(src, pkt); err != nil {
 			continue // stray datagram
 		}
 	}
@@ -172,5 +192,12 @@ func download(info proto.SessionInfo, data *net.UDPAddr, out string, level int, 
 	eta, etaC, etaD := eng.Efficiency()
 	fmt.Printf("fountain-client: wrote %s (%d bytes); loss=%.1f%% eta=%.3f eta_c=%.3f eta_d=%.3f level=%d\n",
 		out, len(file), 100*eng.MeasuredLoss(), eta, etaC, etaD, eng.Level())
+	if len(mirrors) > 1 {
+		for _, src := range eng.Sources() {
+			st := eng.SourceStats(src)
+			fmt.Printf("  mirror %d (%s): recv=%d distinct=%d dup=%d loss=%.1f%% level=%d\n",
+				src, mirrors[src], st.Received, st.Distinct, st.Duplicate, 100*st.Loss, st.Level)
+		}
+	}
 	return nil
 }

@@ -48,6 +48,7 @@ func main() {
 		pktLen   = flag.Int("pkt", 500, "payload bytes per packet")
 		seed     = flag.Int64("seed", 1998, "graph seed")
 		baseID   = flag.Uint("session", 0xDF98, "session id of the first file (subsequent files increment)")
+		phase    = flag.Int("phase", 0, "carousel start round, advertised to clients (mirrors of one file stagger theirs, §8)")
 		cacheB   = flag.Int64("cache", 64<<20, "shared lazy-encoding cache budget, bytes")
 		statsSec = flag.Int("stats", 30, "seconds between stats lines (0 = never)")
 	)
@@ -87,7 +88,7 @@ func main() {
 		cfg.PacketLen = *pktLen
 		cfg.Seed = *seed + int64(i)
 		cfg.Session = uint16(*baseID) + uint16(i)
-		sess, err := svc.AddData(data, cfg, *rate)
+		sess, err := svc.AddDataPhased(data, cfg, *rate, *phase)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -96,8 +97,8 @@ func main() {
 		if sess.Lazy() {
 			mode = "lazy"
 		}
-		fmt.Printf("fountain-server: session %#x %s (%d bytes, k=%d, n=%d, %s encoding)\n",
-			cfg.Session, file, len(data), info.K, info.N, mode)
+		fmt.Printf("fountain-server: session %#x %s (%d bytes, k=%d, n=%d, phase=%d, %s encoding)\n",
+			cfg.Session, file, len(data), info.K, info.N, *phase, mode)
 	}
 
 	ctrl, stopCtrl, err := transport.ServeControlFunc(*ctrlAddr, svc.HandleControl)

@@ -138,6 +138,11 @@ type Carousel = core.Carousel
 // NewCarousel starts a fresh carousel over the session.
 func NewCarousel(sess *Session) *Carousel { return core.NewCarousel(sess) }
 
+// NewCarouselAt starts a carousel at a round phase offset — mirrors of a
+// shared encoding transmit from staggered positions (§8) so a multi-source
+// receiver accumulates few early duplicates.
+func NewCarouselAt(sess *Session, phase int) *Carousel { return core.NewCarouselAt(sess, phase) }
+
 // NewReceiver builds a receiver from a session descriptor.
 func NewReceiver(info SessionInfo) (*Receiver, error) { return core.NewReceiver(info) }
 
@@ -156,6 +161,22 @@ type Client = client.Engine
 // the congestion controller changes the subscription level.
 func NewClient(info SessionInfo, startLevel int, setLevel func(int)) (*Client, error) {
 	return client.New(info, startLevel, setLevel)
+}
+
+// SourceStats is the per-mirror accounting snapshot of a multi-source
+// client (received/lost/distinct/duplicate packets, measured loss, and the
+// source controller's level).
+type SourceStats = client.SourceStats
+
+// NewMultiSourceClient builds a client engine that harvests one session
+// from several independent mirrors (§8 "mirrored data"): feed it packets
+// with Client.HandlePacketFrom(source, pkt). Loss is measured per
+// (source, layer) serial space, duplicate/distinct contributions are
+// tracked per source, and the subscription level passed to setLevel is the
+// minimum across the per-source congestion controllers — the worst-loss
+// source rule.
+func NewMultiSourceClient(info SessionInfo, sources, startLevel int, setLevel func(int)) (*Client, error) {
+	return client.NewMultiSource(info, sources, startLevel, setLevel)
 }
 
 // Bus is the in-process lossy multicast transport (deterministic, virtual
@@ -191,6 +212,18 @@ func NewUDPClientSession(server *net.UDPAddr, session uint16, level int) (*UDPCl
 	return transport.NewUDPClientSession(server, session, level)
 }
 
+// MultiClient joins the same session on several fountain servers at once
+// and funnels their packets, tagged with a source index, into one queue —
+// the transport half of the §8 mirrored-download application.
+type MultiClient = transport.MultiClient
+
+// NewMultiClient dials every server's data address and subscribes each to
+// layers 0..level of the session. Pair it with NewMultiSourceClient:
+// Recv's source index feeds HandlePacketFrom.
+func NewMultiClient(servers []*net.UDPAddr, session uint16, level int) (*MultiClient, error) {
+	return transport.NewMultiClient(servers, session, level)
+}
+
 // SessionAny is the wildcard session id for UDP subscriptions.
 const SessionAny = transport.SessionAny
 
@@ -207,6 +240,7 @@ type ServiceConfig = service.Config
 type ServiceStats = service.Stats
 
 // NewService creates a service transmitting on tx. Add sessions with
-// Service.AddData / Service.Add; serve discovery by wiring
-// Service.HandleControl to a control socket.
+// Service.AddData / Service.Add (Service.AddPhased to stagger a mirror's
+// carousel); serve discovery by wiring Service.HandleControl to a control
+// socket.
 func NewService(tx server.Sender, cfg ServiceConfig) *Service { return service.New(tx, cfg) }

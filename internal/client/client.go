@@ -4,10 +4,21 @@
 // level, and feeds the decoder until the file is reconstructable, keeping
 // the reception-efficiency accounting (η, ηc, ηd) the paper reports in
 // Figure 8.
+//
+// The engine is source-aware (§8): packets may arrive from any number of
+// independent mirrors of the same session, tagged with a caller-chosen
+// source id. Serial-gap loss measurement runs per (source, layer) — each
+// mirror stamps its own serial space — and each source drives its own
+// layered controller; the subscription level actually requested from the
+// transport is the minimum across sources (the worst-loss source rule: a
+// level is only sustainable if every joined path sustains it). Duplicate
+// vs. distinct contributions are tracked per source, so the receiver can
+// report how much each mirror actually added to the decode.
 package client
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/layered"
@@ -18,23 +29,42 @@ import (
 // and transport.UDPClient satisfy it modulo error handling).
 type Leveler func(level int)
 
-// Engine is one receiving client.
+// SourceStats is the per-source accounting snapshot of one mirror feed.
+type SourceStats struct {
+	Received  int     // packets accepted from this source
+	Lost      int     // packets counted lost from serial gaps on this source
+	Distinct  int     // packets that were new to the decoder
+	Duplicate int     // packets the decoder had already seen (from any source)
+	Loss      float64 // Lost / (Received + Lost)
+	Level     int     // this source's controller level (worst-source input)
+}
+
+// source is the per-mirror receive state: serial/loss accounting and a
+// layered congestion controller fed only by this mirror's packets.
+type source struct {
+	lastSerial map[uint8]uint32
+	missing    map[uint8]*missingWindow // serials counted lost, refundable on late arrival
+	ctrl       *layered.Controller
+	received   int
+	lost       int
+	distinct   int
+	duplicate  int
+}
+
+// Engine is one receiving client, harvesting from one or more sources.
 type Engine struct {
 	rcv      *core.Receiver
-	ctrl     *layered.Controller
 	setLevel Leveler
 	info     proto.SessionInfo
 
-	// Loss accounting across the whole download (per layer serial gaps).
-	lastSerial map[uint8]uint32
-	missing    map[uint8]*missingWindow // serials counted lost, refundable on late arrival
-	lost       int
-	received   int
+	sources map[int]*source
+	ids     []int // registration order (stats iteration)
+	level   int   // effective subscription level: min over source controllers
 }
 
-// maxTrackedMissing bounds the per-layer window of refundable lost serials:
-// reordering windows are short, so only the most recent serials of a gap
-// need tracking; anything older stays counted as lost.
+// maxTrackedMissing bounds the per-(source, layer) window of refundable
+// lost serials: reordering windows are short, so only the most recent
+// serials of a gap need tracking; anything older stays counted as lost.
 const maxTrackedMissing = 512
 
 // missingWindow remembers the most recent serials counted as lost, so a
@@ -66,33 +96,85 @@ func (w *missingWindow) refund(s uint32) bool {
 	return true
 }
 
-// New builds a client engine from a session descriptor. setLevel is
-// invoked whenever the congestion controller changes the subscription
-// level (nil for single-layer sessions).
+// New builds a single-source client engine from a session descriptor.
+// setLevel is invoked whenever the effective subscription level changes
+// (nil for single-layer sessions).
 func New(info proto.SessionInfo, startLevel int, setLevel Leveler) (*Engine, error) {
+	return NewMultiSource(info, 1, startLevel, setLevel)
+}
+
+// NewMultiSource builds a client engine harvesting the session from
+// `sources` independent mirrors (ids 0..sources-1 are pre-registered;
+// further ids may still appear via HandlePacketFrom). Every source's
+// controller starts at startLevel; setLevel is invoked with the effective
+// (minimum-across-sources) level whenever it changes.
+func NewMultiSource(info proto.SessionInfo, sources, startLevel int, setLevel Leveler) (*Engine, error) {
 	rcv, err := core.NewReceiver(info)
 	if err != nil {
 		return nil, err
 	}
-	ctrl := layered.New(int(info.Layers) - 1)
-	ctrl.SetLevel(startLevel)
-	return &Engine{
-		rcv:        rcv,
-		ctrl:       ctrl,
-		setLevel:   setLevel,
-		info:       info,
-		lastSerial: make(map[uint8]uint32),
-		missing:    make(map[uint8]*missingWindow),
-	}, nil
+	if sources < 1 {
+		sources = 1
+	}
+	e := &Engine{
+		rcv:      rcv,
+		setLevel: setLevel,
+		info:     info,
+		sources:  make(map[int]*source, sources),
+	}
+	for id := 0; id < sources; id++ {
+		e.addSource(id, startLevel)
+	}
+	e.level = e.minLevel()
+	return e, nil
 }
 
-// Controller exposes the congestion controller (for tests/tuning).
-func (e *Engine) Controller() *layered.Controller { return e.ctrl }
+// addSource registers a source whose controller starts at level.
+func (e *Engine) addSource(id, level int) *source {
+	ctrl := layered.New(int(e.info.Layers) - 1)
+	ctrl.SetLevel(level)
+	s := &source{
+		lastSerial: make(map[uint8]uint32),
+		missing:    make(map[uint8]*missingWindow),
+		ctrl:       ctrl,
+	}
+	e.sources[id] = s
+	e.ids = append(e.ids, id)
+	return s
+}
 
-// HandlePacket ingests one wire packet. It returns done=true once the file
-// is decodable. Malformed or foreign packets return an error and are not
-// counted.
+// minLevel computes the worst-source subscription level.
+func (e *Engine) minLevel() int {
+	min := int(e.info.Layers) - 1
+	if min < 0 {
+		min = 0
+	}
+	for _, s := range e.sources {
+		if l := s.ctrl.Level(); l < min {
+			min = l
+		}
+	}
+	return min
+}
+
+// Controller exposes source 0's congestion controller (for tests/tuning of
+// single-source clients). A level forced through it is reflected by
+// Level() immediately; the transport setLevel callback still fires only on
+// the next packet that shifts the cross-source minimum.
+func (e *Engine) Controller() *layered.Controller { return e.sources[0].ctrl }
+
+// HandlePacket ingests one wire packet from source 0 (the single-pipe
+// client shape). It returns done=true once the file is decodable.
 func (e *Engine) HandlePacket(pkt []byte) (done bool, err error) {
+	return e.HandlePacketFrom(0, pkt)
+}
+
+// HandlePacketFrom ingests one wire packet received from the given source.
+// Unknown source ids are registered on first use (their controller starts
+// at the current effective level). Malformed or foreign packets return an
+// error and are not counted. It returns done=true once the file is
+// decodable.
+func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 	h, payload, err := proto.ParseHeader(pkt)
 	if err != nil {
 		return e.rcv.Done(), err
@@ -100,24 +182,39 @@ func (e *Engine) HandlePacket(pkt []byte) (done bool, err error) {
 	if h.Session != e.info.Session {
 		return e.rcv.Done(), fmt.Errorf("client: foreign session %#x", h.Session)
 	}
-	// Whole-download loss measurement from serial gaps. Serial arithmetic
-	// is modular: a long-lived carousel wraps the uint32 serial, so the
-	// gap is the unsigned difference, with deltas in the upper half-range
-	// treated as reordered/old packets rather than as astronomical gaps.
-	// The serials of a gap are remembered (up to a bounded window), so a
-	// late arrival refunds its provisional loss exactly once — duplicates
-	// and genuinely foreign old serials refund nothing.
-	if last, ok := e.lastSerial[h.Group]; ok {
+	// Reject malformed packets before any accounting: these are the exact
+	// conditions the decoder would error on, checked up front so a corrupt
+	// datagram cannot leave half-updated serial/loss state behind.
+	if h.Index >= e.info.N {
+		return e.rcv.Done(), fmt.Errorf("client: packet index %d out of range [0,%d)", h.Index, e.info.N)
+	}
+	if len(payload) != int(e.info.PacketLen) {
+		return e.rcv.Done(), fmt.Errorf("client: payload %d bytes, want %d", len(payload), e.info.PacketLen)
+	}
+	s := e.sources[src]
+	if s == nil {
+		s = e.addSource(src, e.level)
+	}
+	// Whole-download loss measurement from serial gaps, independently per
+	// source: each mirror stamps its own dense serial space, so mixing them
+	// would fabricate astronomical gaps. Serial arithmetic is modular: a
+	// long-lived carousel wraps the uint32 serial, so the gap is the
+	// unsigned difference, with deltas in the upper half-range treated as
+	// reordered/old packets rather than as astronomical gaps. The serials
+	// of a gap are remembered (up to a bounded window), so a late arrival
+	// refunds its provisional loss exactly once — duplicates and genuinely
+	// foreign old serials refund nothing.
+	if last, ok := s.lastSerial[h.Group]; ok {
 		switch delta := h.Serial - last; {
 		case delta == 0:
 			// Duplicate serial: nothing to account.
 		case delta < 1<<31:
-			e.lost += int(delta - 1)
+			s.lost += int(delta - 1)
 			if delta > 1 {
-				w := e.missing[h.Group]
+				w := s.missing[h.Group]
 				if w == nil {
 					w = &missingWindow{set: make(map[uint32]struct{})}
-					e.missing[h.Group] = w
+					s.missing[h.Group] = w
 				}
 				// Oldest-first so the window's FIFO eviction keeps the
 				// newest serials; a huge gap only records its tail.
@@ -125,31 +222,54 @@ func (e *Engine) HandlePacket(pkt []byte) (done bool, err error) {
 				if delta-1 > maxTrackedMissing {
 					lo = h.Serial - maxTrackedMissing
 				}
-				for s := lo; s != h.Serial; s++ {
-					w.add(s)
+				for ser := lo; ser != h.Serial; ser++ {
+					w.add(ser)
 				}
 			}
-			e.lastSerial[h.Group] = h.Serial
+			s.lastSerial[h.Group] = h.Serial
 		default:
 			// Late arrival from before lastSerial: refund its loss if it
 			// is one we counted.
-			if w := e.missing[h.Group]; w != nil && w.refund(h.Serial) {
-				e.lost--
+			if w := s.missing[h.Group]; w != nil && w.refund(h.Serial) {
+				s.lost--
 			}
 		}
 	} else {
-		e.lastSerial[h.Group] = h.Serial
+		s.lastSerial[h.Group] = h.Serial
 	}
-	e.received++
-	// Congestion control: only meaningful with multiple layers.
+	s.received++
+	// Congestion control: only meaningful with multiple layers. The packet
+	// feeds its own source's controller; the level requested from the
+	// transport is the minimum across all sources — the highest rate every
+	// joined path can sustain.
 	if e.info.Layers > 1 {
-		before := e.ctrl.Level()
-		after := e.ctrl.OnPacket(h.Group, h.Serial, h.Flags&proto.FlagSP != 0, h.Flags&proto.FlagBurst != 0)
-		if after != before && e.setLevel != nil {
-			e.setLevel(after)
+		before := s.ctrl.Level()
+		after := s.ctrl.OnPacket(h.Group, h.Serial, h.Flags&proto.FlagSP != 0, h.Flags&proto.FlagBurst != 0)
+		if after != before {
+			if eff := e.minLevel(); eff != e.level {
+				e.level = eff
+				if e.setLevel != nil {
+					e.setLevel(eff)
+				}
+			}
 		}
 	}
-	return e.rcv.Handle(int(h.Index), payload)
+	_, d0, _ := e.rcv.Stats()
+	done, err = e.rcv.Handle(int(h.Index), payload)
+	if err != nil {
+		// Unreachable for well-formed input (index and length were
+		// validated above — the decoder's only error conditions); undo the
+		// reception count so Received == Distinct + Duplicate still holds
+		// if a codec ever grows new failure modes.
+		s.received--
+		return done, err
+	}
+	if _, d1, _ := e.rcv.Stats(); d1 > d0 {
+		s.distinct++
+	} else {
+		s.duplicate++
+	}
+	return done, nil
 }
 
 // Done reports whether the file is decodable.
@@ -158,17 +278,71 @@ func (e *Engine) Done() bool { return e.rcv.Done() }
 // File reassembles and verifies the download.
 func (e *Engine) File() ([]byte, error) { return e.rcv.File() }
 
-// Level returns the current subscription level.
-func (e *Engine) Level() int { return e.ctrl.Level() }
+// Level returns the current effective subscription level (the minimum
+// across source controllers), recomputed so externally forced controller
+// levels (Controller().SetLevel) are observable without waiting for the
+// next packet.
+func (e *Engine) Level() int { return e.minLevel() }
 
-// MeasuredLoss returns the packet loss rate observed over the download.
+// Sources returns the registered source ids, ascending.
+func (e *Engine) Sources() []int {
+	ids := append([]int(nil), e.ids...)
+	sort.Ints(ids)
+	return ids
+}
+
+// SourceStats returns the accounting snapshot of one source (zero value
+// for unknown ids).
+func (e *Engine) SourceStats(id int) SourceStats {
+	s := e.sources[id]
+	if s == nil {
+		return SourceStats{}
+	}
+	st := SourceStats{
+		Received:  s.received,
+		Lost:      s.lost,
+		Distinct:  s.distinct,
+		Duplicate: s.duplicate,
+		Level:     s.ctrl.Level(),
+	}
+	if total := s.received + s.lost; total > 0 {
+		st.Loss = float64(s.lost) / float64(total)
+	}
+	return st
+}
+
+// WorstSource returns the id and measured loss rate of the source with the
+// highest observed loss (the one gating the subscription level). With no
+// traffic it returns the first registered source and 0.
+func (e *Engine) WorstSource() (id int, loss float64) {
+	id = e.ids[0]
+	for _, sid := range e.Sources() {
+		if l := e.SourceStats(sid).Loss; l > loss {
+			id, loss = sid, l
+		}
+	}
+	return id, loss
+}
+
+// MeasuredLoss returns the packet loss rate observed over the download,
+// aggregated across all sources.
 func (e *Engine) MeasuredLoss() float64 {
-	total := e.received + e.lost
+	var received, lost int
+	for _, s := range e.sources {
+		received += s.received
+		lost += s.lost
+	}
+	total := received + lost
 	if total == 0 {
 		return 0
 	}
-	return float64(e.lost) / float64(total)
+	return float64(lost) / float64(total)
 }
 
-// Efficiency returns (η, ηc, ηd) as defined in §7.3.
+// Stats returns the decoder-side (total received, distinct, k) counters —
+// the exact integers behind Efficiency.
+func (e *Engine) Stats() (total, distinct, k int) { return e.rcv.Stats() }
+
+// Efficiency returns (η, ηc, ηd) as defined in §7.3, over the aggregate
+// reception from all sources.
 func (e *Engine) Efficiency() (eta, etaC, etaD float64) { return e.rcv.Efficiency() }

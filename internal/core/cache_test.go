@@ -1,0 +1,170 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+func lazySessionForCache(t *testing.T, cache *BlockCache, seed int64) (*Session, *Session) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	data := make([]byte, 60_000)
+	rng.Read(data)
+	cfg := DefaultConfig()
+	cfg.Codec = proto.CodecCauchy
+	cfg.Layers = 1
+	cfg.PacketLen = 500
+	cfg.LazyBlock = 8
+	cfg.Seed = seed
+	lazy, err := NewSessionCached(data, cfg, cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lazy.Lazy() {
+		t.Fatal("Cauchy session did not take the lazy path")
+	}
+	eager, err := NewSession(data, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lazy, eager
+}
+
+// TestBlockCacheBudgetUnderConcurrency: with many goroutines hammering
+// Get/Put through Session.Payload on two sessions sharing one cache, the
+// charged byte count observable from outside must never exceed the budget
+// (eviction runs inside the same critical section as the insert), and the
+// recorded peak may overshoot by at most one in-flight block.
+func TestBlockCacheBudgetUnderConcurrency(t *testing.T) {
+	blockBytes := int64(8 * PadPacketLen(500))
+	capBytes := 4 * blockBytes
+	cache := NewBlockCache(capBytes)
+	s1, e1 := lazySessionForCache(t, cache, 101)
+	s2, e2 := lazySessionForCache(t, cache, 102)
+
+	stop := make(chan struct{})
+	violation := make(chan int64, 1)
+	var monWG sync.WaitGroup
+	monWG.Add(1)
+	go func() {
+		defer monWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if used := cache.Used(); used > capBytes {
+				select {
+				case violation <- used:
+				default:
+				}
+				return
+			}
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(g)))
+			for i := 0; i < 400; i++ {
+				sess, eager := s1, e1
+				if g%2 == 1 {
+					sess, eager = s2, e2
+				}
+				// Repair region only: the source prefix never touches the
+				// cache by design.
+				idx := sess.Codec().K() + rng.Intn(sess.Codec().N()-sess.Codec().K())
+				if !bytes.Equal(sess.Payload(idx), eager.Payload(idx)) {
+					t.Errorf("goroutine %d: lazy payload %d differs from eager", g, idx)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	monWG.Wait()
+	select {
+	case used := <-violation:
+		t.Fatalf("cache used %d exceeded budget %d", used, capBytes)
+	default:
+	}
+	if used := cache.Used(); used > capBytes {
+		t.Fatalf("final used %d > cap %d", used, capBytes)
+	}
+	// Peak is recorded before the same-lock eviction, so it may exceed the
+	// budget by at most one block insertion.
+	if peak := cache.Peak(); peak > capBytes+blockBytes {
+		t.Fatalf("peak %d blew past cap %d + one block %d", peak, capBytes, blockBytes)
+	}
+	hits, misses := cache.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("degenerate traffic: hits=%d misses=%d", hits, misses)
+	}
+}
+
+// TestBlockCacheSinglePacketRefill: after a block's first full fill is
+// evicted, re-touching one of its packets must take the single-packet
+// refill path (one packet encoded and cached, not the whole block), and an
+// immediate second touch of that packet must hit the refill entry.
+func TestBlockCacheSinglePacketRefill(t *testing.T) {
+	blockBytes := int64(8 * PadPacketLen(500))
+	cache := NewBlockCache(2 * blockBytes)
+	sess, eager := lazySessionForCache(t, cache, 103)
+	k, n := sess.Codec().K(), sess.Codec().N()
+	blockPkts := sess.Config().LazyBlock
+
+	// First touch of a repair block: full-block fill (one miss).
+	first := k + (n-k)/2
+	first -= first % blockPkts // block-aligned repair index
+	if !bytes.Equal(sess.Payload(first), eager.Payload(first)) {
+		t.Fatal("first fill returned wrong payload")
+	}
+	_, missesAfterFill := cache.Stats()
+
+	// Evict it by filling the 2-block budget with later blocks.
+	for idx := first + blockPkts; idx < n && idx < first+4*blockPkts; idx += blockPkts {
+		sess.Payload(idx)
+	}
+	if used := cache.Used(); used > 2*blockBytes {
+		t.Fatalf("used %d > cap %d", used, 2*blockBytes)
+	}
+
+	// Re-touch: the block was already filled once, so only this packet is
+	// encoded (a miss), charged as a single-packet entry.
+	usedBefore := cache.Used()
+	if !bytes.Equal(sess.Payload(first), eager.Payload(first)) {
+		t.Fatal("post-eviction refill returned wrong payload")
+	}
+	_, missesAfterRefill := cache.Stats()
+	if missesAfterRefill != missesAfterFill+4 { // 3 evictor blocks + this refill
+		t.Fatalf("miss count %d, want %d", missesAfterRefill, missesAfterFill+4)
+	}
+	// The refill charges one packet; the insert may evict an LRU full
+	// block to stay under budget, so net growth is at most one packet
+	// (and possibly negative).
+	growth := cache.Used() - usedBefore
+	pkt := int64(PadPacketLen(500))
+	if growth > pkt {
+		t.Fatalf("refill grew cache by %d bytes, want one packet (%d) at most — whole block re-encoded?", growth, pkt)
+	}
+
+	// Second touch must hit the single-packet entry: no new miss.
+	hitsBefore, missesBefore := cache.Stats()
+	if !bytes.Equal(sess.Payload(first), eager.Payload(first)) {
+		t.Fatal("refill hit returned wrong payload")
+	}
+	hitsAfter, missesAfter := cache.Stats()
+	if missesAfter != missesBefore || hitsAfter != hitsBefore+1 {
+		t.Fatalf("refill entry not hit: hits %d→%d misses %d→%d",
+			hitsBefore, hitsAfter, missesBefore, missesAfter)
+	}
+}

@@ -14,6 +14,7 @@ import "repro/internal/proto"
 type Carousel struct {
 	sess    *Session
 	serials []uint32
+	phase   int
 	round   int
 	sent    int
 }
@@ -21,14 +22,38 @@ type Carousel struct {
 // NewCarousel starts a fresh carousel over the session (round 0, all
 // serials at 0).
 func NewCarousel(sess *Session) *Carousel {
-	return &Carousel{sess: sess, serials: make([]uint32, sess.Config().Layers)}
+	return NewCarouselAt(sess, 0)
+}
+
+// NewCarouselAt starts a carousel whose first emitted round is `phase`
+// (serials still start at 0 — they are a property of this sender's stream,
+// not of the schedule position). Mirrors sharing a session seed start at
+// staggered phases so a multi-source receiver sees mostly-disjoint packets
+// early in the download (§8). A negative phase is treated as 0.
+func NewCarouselAt(sess *Session, phase int) *Carousel {
+	if phase < 0 {
+		phase = 0
+	}
+	return &Carousel{
+		sess:    sess,
+		serials: make([]uint32, sess.Config().Layers),
+		phase:   phase,
+		round:   phase,
+	}
 }
 
 // Session returns the session the carousel transmits.
 func (c *Carousel) Session() *Session { return c.sess }
 
+// Phase returns the round the carousel started at.
+func (c *Carousel) Phase() int { return c.phase }
+
 // Round returns the next round number to be sent.
 func (c *Carousel) Round() int { return c.round }
+
+// Rounds returns the number of rounds emitted so far (Round minus the
+// starting phase).
+func (c *Carousel) Rounds() int { return c.round - c.phase }
 
 // Sent returns the total number of packets emitted so far.
 func (c *Carousel) Sent() int { return c.sent }

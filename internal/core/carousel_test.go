@@ -119,3 +119,72 @@ func TestCarouselEmitError(t *testing.T) {
 		t.Fatalf("err = %v, want %v", err, boom)
 	}
 }
+
+// TestCarouselPhaseOffset: a phased carousel must emit exactly the packet
+// stream of an unphased one fast-forwarded by `phase` rounds — same
+// indices, same SP/burst flags — while stamping its own serials from 1
+// (serials belong to the sender's stream, not the schedule position).
+func TestCarouselPhaseOffset(t *testing.T) {
+	for _, layers := range []int{1, 4} {
+		sess := carouselSession(t, layers)
+		const phase = 5
+		ref, phased := NewCarousel(sess), NewCarouselAt(sess, phase)
+		if phased.Phase() != phase || phased.Round() != phase || phased.Rounds() != 0 {
+			t.Fatalf("phase accessors: %d %d %d", phased.Phase(), phased.Round(), phased.Rounds())
+		}
+		type emission struct {
+			layer int
+			idx   uint32
+			flags uint8
+		}
+		collect := func(car *Carousel, rounds int) []emission {
+			var out []emission
+			for i := 0; i < rounds; i++ {
+				if err := car.NextRound(func(layer int, pkt []byte) error {
+					h, _, err := proto.ParseHeader(pkt)
+					if err != nil {
+						return err
+					}
+					out = append(out, emission{layer, h.Index, h.Flags})
+					return nil
+				}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			return out
+		}
+		refEm := collect(ref, phase+3)
+		gotEm := collect(phased, 3)
+		if phased.Rounds() != 3 {
+			t.Fatalf("Rounds() = %d after 3 rounds", phased.Rounds())
+		}
+		// Locate where the phased stream should start inside the reference:
+		// skip the first `phase` rounds' emissions.
+		skip := 0
+		{
+			probe := NewCarousel(sess)
+			for i := 0; i < phase; i++ {
+				probe.NextRound(func(int, []byte) error { return nil })
+			}
+			skip = probe.Sent()
+		}
+		want := refEm[skip:]
+		if len(gotEm) != len(want) {
+			t.Fatalf("layers=%d: %d emissions, want %d", layers, len(gotEm), len(want))
+		}
+		for i := range want {
+			if gotEm[i] != want[i] {
+				t.Fatalf("layers=%d emission %d: %+v, want %+v", layers, i, gotEm[i], want[i])
+			}
+		}
+	}
+}
+
+// TestCarouselNegativePhaseClamped: a negative phase behaves as 0.
+func TestCarouselNegativePhaseClamped(t *testing.T) {
+	sess := carouselSession(t, 1)
+	car := NewCarouselAt(sess, -3)
+	if car.Phase() != 0 || car.Round() != 0 {
+		t.Fatalf("negative phase not clamped: %d/%d", car.Phase(), car.Round())
+	}
+}

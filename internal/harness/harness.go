@@ -1,0 +1,265 @@
+// Package harness wires a complete, deterministic multi-source fountain
+// testbed: N mirror services (one core.Session each under a real
+// service.Service registry, staggered carousel phases advertised over the
+// control path), each transmitting onto its own in-process lossy
+// transport.Bus, pumped on a shared virtual clock, into any number of
+// source-aware client engines with per-source, per-layer loss injection.
+//
+// The whole server→service→transport→client→decode round-trip runs without
+// sockets, sleeps, or wall-clock pacing, so a scenario with 5-20% injected
+// loss across three mirrors executes in milliseconds and produces
+// bit-identical packet interleavings on every run — the in-process
+// equivalent of the paper's inter-campus testbed (§7.3) extended to the §8
+// mirrored-server application. Scenario tests assert on exact round counts
+// instead of timing margins.
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+	"repro/internal/service"
+	"repro/internal/transport"
+)
+
+// LossFunc builds the loss process of one (mirror, layer) feed of a
+// receiver. Return nil for a lossless feed. Implementations draw their
+// randomness from a per-receiver RNG (netsim.ReceiverRNG) to keep the
+// testbed deterministic.
+type LossFunc func(mirror, layer int) netsim.LossProcess
+
+// Config describes a testbed.
+type Config struct {
+	// Mirrors is the number of mirror servers (default 1).
+	Mirrors int
+	// Data is the file every mirror carries.
+	Data []byte
+	// Session is the shared session configuration; all mirrors use the
+	// same codec, seed and session id, so their encodings are identical
+	// and their packets interchangeable (§8).
+	Session core.Config
+	// Rate is each mirror's carousel speed in rounds per virtual second
+	// (default 100). All mirrors run at the same rate; relative speed
+	// differences belong in scenario-specific pumps.
+	Rate int
+	// Phases are the per-mirror carousel start rounds. nil = stagger
+	// mirrors evenly across one full carousel cycle, the §8 prescription
+	// for minimizing early duplicates.
+	Phases []int
+}
+
+// Mirror is one mirror server of the testbed.
+type Mirror struct {
+	Service  *service.Service
+	Bus      *transport.Bus
+	Carousel *core.Carousel
+	// Info is the descriptor obtained over the mirror's control path
+	// (service.HandleControl), phase included — exactly what a real
+	// client would learn from a HELLO.
+	Info proto.SessionInfo
+}
+
+// Rounds returns the number of carousel rounds this mirror has emitted.
+func (m *Mirror) Rounds() int { return m.Carousel.Rounds() }
+
+// Testbed is a wired set of mirrors and receivers on one virtual clock.
+type Testbed struct {
+	Mirrors   []*Mirror
+	Receivers []*Receiver
+	cfg       Config
+	sess      *core.Session
+	pump      *transport.Pump
+}
+
+// CyclePeriod returns the number of rounds after which a full-subscription
+// receiver has seen the entire encoding once: n for the single-layer
+// randomized carousel, the reverse-binary block size 2^(g-1) for g layers.
+func CyclePeriod(sess *core.Session) int {
+	if g := sess.Config().Layers; g > 1 {
+		return 1 << uint(g-1)
+	}
+	return sess.Codec().N()
+}
+
+// New builds the mirrors: one session encoding shared by all (identical by
+// construction — same data, codec and seed), one service + bus per mirror,
+// phases staggered unless overridden, and one pump source per mirror
+// stepping its carousel through the service's counting sender.
+func New(cfg Config) (*Testbed, error) {
+	if cfg.Mirrors < 1 {
+		cfg.Mirrors = 1
+	}
+	if cfg.Rate <= 0 {
+		cfg.Rate = 100
+	}
+	sess, err := core.NewSession(cfg.Data, cfg.Session)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Phases == nil {
+		cycle := CyclePeriod(sess)
+		for i := 0; i < cfg.Mirrors; i++ {
+			cfg.Phases = append(cfg.Phases, cycle*i/cfg.Mirrors)
+		}
+	}
+	if len(cfg.Phases) != cfg.Mirrors {
+		return nil, fmt.Errorf("harness: %d phases for %d mirrors", len(cfg.Phases), cfg.Mirrors)
+	}
+	tb := &Testbed{cfg: cfg, sess: sess, pump: transport.NewPump()}
+	id := cfg.Session.Session
+	for i := 0; i < cfg.Mirrors; i++ {
+		bus := transport.NewBus(sess.Config().Layers)
+		svc := service.New(bus, service.Config{BaseRate: cfg.Rate})
+		car, err := svc.AddManual(sess, cfg.Rate, cfg.Phases[i])
+		if err != nil {
+			svc.Close()
+			tb.Close()
+			return nil, err
+		}
+		info, err := proto.ParseSessionInfo(svc.HandleControl(proto.MarshalHelloFor(id)))
+		if err != nil {
+			svc.Close()
+			tb.Close()
+			return nil, fmt.Errorf("harness: mirror %d control: %w", i, err)
+		}
+		m := &Mirror{Service: svc, Bus: bus, Carousel: car, Info: info}
+		tb.Mirrors = append(tb.Mirrors, m)
+		emit := svc.Sender()
+		tb.pump.Add(0, 1/float64(cfg.Rate), func() error {
+			return m.Carousel.NextRound(emit.Send)
+		})
+	}
+	return tb, nil
+}
+
+// Receiver is one source-aware client attached to every mirror.
+type Receiver struct {
+	Engine  *client.Engine
+	clients []*transport.BusClient
+	tb      *Testbed
+	err     error
+	// doneRounds[m] is mirror m's emitted-round count at the moment this
+	// receiver's decoder completed (-1 while incomplete).
+	doneRounds []int
+	complete   bool
+	doneTime   float64 // virtual time of completion
+}
+
+// AddReceiver attaches a receiver subscribed at startLevel on every
+// mirror, with loss (may be nil) building each (mirror, layer) feed's loss
+// process. The engine's effective level (worst-source rule) drives all
+// subscriptions together.
+func (tb *Testbed) AddReceiver(startLevel int, loss LossFunc) (*Receiver, error) {
+	r := &Receiver{tb: tb}
+	r.doneRounds = make([]int, len(tb.Mirrors))
+	for i := range r.doneRounds {
+		r.doneRounds[i] = -1
+	}
+	eng, err := client.NewMultiSource(tb.Mirrors[0].Info, len(tb.Mirrors), startLevel, func(level int) {
+		for _, bc := range r.clients {
+			bc.SetLevel(level)
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	r.Engine = eng
+	for mi, m := range tb.Mirrors {
+		src := mi
+		bc := m.Bus.NewClient(startLevel, nil, func(layer int, pkt []byte) {
+			if r.err != nil || r.Engine.Done() {
+				return
+			}
+			done, err := r.Engine.HandlePacketFrom(src, pkt)
+			if err != nil {
+				r.err = err
+				return
+			}
+			if done {
+				r.markDone()
+			}
+		})
+		if loss != nil {
+			for layer := 0; layer < tb.sess.Config().Layers; layer++ {
+				bc.SetLayerLoss(layer, loss(src, layer))
+			}
+		}
+		r.clients = append(r.clients, bc)
+	}
+	tb.Receivers = append(tb.Receivers, r)
+	return r, nil
+}
+
+func (r *Receiver) markDone() {
+	r.complete = true
+	r.doneTime = r.tb.pump.Now()
+	for i, m := range r.tb.Mirrors {
+		r.doneRounds[i] = m.Rounds()
+	}
+}
+
+// Done reports whether the receiver's decoder completed.
+func (r *Receiver) Done() bool { return r.Engine.Done() }
+
+// Err returns the first packet-handling error, if any.
+func (r *Receiver) Err() error { return r.err }
+
+// RoundsToDecode returns the largest per-mirror emitted-round count at the
+// moment the decoder completed — the "carousel rounds" cost of the
+// download, comparable across testbeds with different mirror counts
+// (mirrors run at equal rates, so this is proportional to virtual time).
+// It returns -1 while incomplete.
+func (r *Receiver) RoundsToDecode() int {
+	if !r.complete {
+		return -1
+	}
+	max := 0
+	for _, n := range r.doneRounds {
+		if n > max {
+			max = n
+		}
+	}
+	return max
+}
+
+// TimeToDecode returns the virtual time at which the decoder completed
+// (-1 while incomplete).
+func (r *Receiver) TimeToDecode() float64 {
+	if !r.complete {
+		return -1
+	}
+	return r.doneTime
+}
+
+// File reassembles and verifies the receiver's download.
+func (r *Receiver) File() ([]byte, error) { return r.Engine.File() }
+
+// Run pumps the mirrors' carousels in virtual-time order until every
+// receiver has decoded (or errored), or maxRounds rounds have been emitted
+// per mirror. It returns the total pump steps executed.
+func (tb *Testbed) Run(maxRounds int) (steps int, err error) {
+	total := maxRounds * len(tb.Mirrors)
+	return tb.pump.Run(total, func() bool {
+		for _, r := range tb.Receivers {
+			if !r.Engine.Done() && r.err == nil {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// Close tears the mirrors down (services, registries, caches).
+func (tb *Testbed) Close() {
+	for _, m := range tb.Mirrors {
+		m.Service.Close()
+	}
+	for _, r := range tb.Receivers {
+		for _, bc := range r.clients {
+			bc.Close()
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package proto
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzParsePacket: ParseHeader must never panic, must reject anything
+// shorter than a header, and parse→marshal must reproduce the input
+// header bytes exactly (the parser is a bijection on its accept set).
+func FuzzParsePacket(f *testing.F) {
+	// Seeds: the canonical prototype header, a wrap-boundary serial, an
+	// SP|burst-flagged layered packet, and degenerate inputs.
+	f.Add(Header{Index: 1, Serial: 1, Group: 0, Session: 0xDF98}.Marshal(nil))
+	f.Add(append(Header{Index: 7, Serial: 0xFFFFFFFF, Group: 3,
+		Flags: FlagSP | FlagBurst, Session: 0xCAFE}.Marshal(nil), 0xAB, 0xCD))
+	f.Add([]byte{})
+	f.Add(make([]byte, HeaderLen-1))
+	f.Fuzz(func(t *testing.T, pkt []byte) {
+		h, payload, err := ParseHeader(pkt)
+		if len(pkt) < HeaderLen {
+			if err != ErrShortPacket {
+				t.Fatalf("%d-byte packet: err = %v, want ErrShortPacket", len(pkt), err)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("full-length packet rejected: %v", err)
+		}
+		if len(payload) != len(pkt)-HeaderLen {
+			t.Fatalf("payload %d bytes of %d-byte packet", len(payload), len(pkt))
+		}
+		if got := h.Marshal(nil); !bytes.Equal(got, pkt[:HeaderLen]) {
+			t.Fatalf("parse→marshal diverges: %x vs %x", got, pkt[:HeaderLen])
+		}
+	})
+}
+
+// FuzzParseControl throws arbitrary bytes at every control-message parser
+// at once: none may panic, truncated inputs must be rejected (not
+// misparsed), and any input accepted as a session descriptor or catalog
+// must survive a marshal round-trip.
+func FuzzParseControl(f *testing.F) {
+	// Seeds from the existing control-plane test vectors.
+	f.Add(MarshalHello())
+	f.Add(MarshalHelloFor(0xDF98))
+	f.Add(MarshalNak(0xDF99))
+	f.Add(MarshalCatalogRequest())
+	f.Add(SessionInfo{Session: 1, Codec: CodecTornadoA, Layers: 4, K: 100, N: 200,
+		PacketLen: 512, FileLen: 50_000, Seed: 1998, BaseRate: 2048, SPInterval: 16,
+		FileHash: 0xAB, Phase: 33}.Marshal())
+	f.Add(MarshalCatalog([]SessionInfo{
+		{Session: 1, K: 10, N: 20, PacketLen: 16},
+		{Session: 2, K: 30, N: 60, PacketLen: 16, InterleaveK: 5, Phase: 7},
+	}))
+	f.Add([]byte{controlMag0, controlMag1})
+	f.Fuzz(func(t *testing.T, buf []byte) {
+		if s, err := ParseSessionInfo(buf); err == nil {
+			if len(buf) < sessionInfoLen {
+				t.Fatalf("truncated session info accepted (%d bytes)", len(buf))
+			}
+			if !bytes.Equal(s.Marshal(), buf[:sessionInfoLen]) {
+				t.Fatal("session info parse→marshal diverges")
+			}
+		}
+		if infos, err := ParseCatalog(buf); err == nil {
+			if len(buf) < 5+len(infos)*sessionInfoLen {
+				t.Fatalf("catalog of %d entries accepted from %d bytes", len(infos), len(buf))
+			}
+			round, err := ParseCatalog(MarshalCatalog(infos))
+			if err != nil && len(infos) <= MaxCatalogEntries {
+				t.Fatalf("catalog re-marshal rejected: %v", err)
+			}
+			if err == nil && len(round) != len(infos) {
+				t.Fatalf("catalog round-trip %d → %d entries", len(infos), len(round))
+			}
+		}
+		if id, specific, ok := HelloSession(buf); ok {
+			if !IsHello(buf) {
+				t.Fatal("HelloSession accepted what IsHello rejects")
+			}
+			if specific && len(buf) < 5 {
+				t.Fatalf("specific hello for %#x from %d bytes", id, len(buf))
+			}
+		}
+		if _, ok := ParseNak(buf); ok && len(buf) < 5 {
+			t.Fatal("truncated NAK accepted")
+		}
+		IsCatalogRequest(buf) // must simply not panic
+	})
+}

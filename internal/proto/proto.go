@@ -85,6 +85,12 @@ type SessionInfo struct {
 	// InterleaveK is the per-block source packet count when Codec is
 	// CodecInterleaved (0 otherwise).
 	InterleaveK uint32
+	// Phase is the carousel round offset this source started transmitting
+	// at. Mirrors sharing a seed advertise staggered phases (§8: "each
+	// source cycles through the data at a different point") so a receiver
+	// harvesting from several of them sees mostly-disjoint prefixes and
+	// accumulates few early duplicates.
+	Phase uint32
 }
 
 // Codec identifiers carried in SessionInfo.
@@ -107,7 +113,7 @@ const (
 	controlMag1         = 0x98 // 1998
 )
 
-const sessionInfoLen = 2 + 2 + 1 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 8 + 4 // magic+type .. interleaveK
+const sessionInfoLen = 2 + 2 + 1 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 8 + 4 + 4 // magic+type .. phase
 
 // MarshalHello encodes a client hello probe. A bare hello asks for "the"
 // session — a multi-session service answers with its lowest session id (or
@@ -245,6 +251,8 @@ func (s SessionInfo) Marshal() []byte {
 	b = append(b, tmp[:8]...)
 	binary.BigEndian.PutUint32(tmp[:4], s.InterleaveK)
 	b = append(b, tmp[:4]...)
+	binary.BigEndian.PutUint32(tmp[:4], s.Phase)
+	b = append(b, tmp[:4]...)
 	return b
 }
 
@@ -270,6 +278,7 @@ func ParseSessionInfo(buf []byte) (SessionInfo, error) {
 		FileHash:   binary.BigEndian.Uint64(buf[43:51]),
 	}
 	s.InterleaveK = binary.BigEndian.Uint32(buf[51:55])
+	s.Phase = binary.BigEndian.Uint32(buf[55:59])
 	return s, nil
 }
 

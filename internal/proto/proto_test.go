@@ -49,12 +49,12 @@ func TestHeaderMarshalAppends(t *testing.T) {
 }
 
 func TestSessionInfoRoundTrip(t *testing.T) {
-	err := quick.Check(func(session uint16, codec, layers uint8, k, n, pl, rate, spi uint32, fl, hash uint64, seed int64) bool {
+	err := quick.Check(func(session uint16, codec, layers uint8, k, n, pl, rate, spi, phase uint32, fl, hash uint64, seed int64) bool {
 		s := SessionInfo{
 			Session: session, Codec: codec % 5, Layers: layers,
 			K: k, N: n, PacketLen: pl, FileLen: fl, Seed: seed,
 			BaseRate: rate, SPInterval: spi, FileHash: hash,
-			InterleaveK: k % 97,
+			InterleaveK: k % 97, Phase: phase,
 		}
 		got, err := ParseSessionInfo(s.Marshal())
 		return err == nil && got == s

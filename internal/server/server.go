@@ -28,7 +28,14 @@ type Engine struct {
 
 // New constructs an engine for the session over the given sender.
 func New(sess *core.Session, tx Sender) *Engine {
-	return &Engine{car: core.NewCarousel(sess), tx: tx}
+	return NewAt(sess, tx, 0)
+}
+
+// NewAt constructs an engine whose carousel starts at the given round
+// phase — the §8 mirrored-server configuration, where each mirror of a
+// shared encoding transmits from a staggered position.
+func NewAt(sess *core.Session, tx Sender, phase int) *Engine {
+	return &Engine{car: core.NewCarouselAt(sess, phase), tx: tx}
 }
 
 // Round returns the next round number to be sent.

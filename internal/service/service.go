@@ -52,6 +52,7 @@ type Stats struct {
 type entry struct {
 	sess   *core.Session
 	rate   int
+	phase  int
 	cancel context.CancelFunc
 	done   chan struct{}
 }
@@ -99,11 +100,16 @@ func (s *Service) Cache() *core.BlockCache { return s.cache }
 // the codec supports it — registers the session under cfg.Session, and
 // starts its paced sender. rate <= 0 uses the service default.
 func (s *Service) AddData(data []byte, cfg core.Config, rate int) (*core.Session, error) {
+	return s.AddDataPhased(data, cfg, rate, 0)
+}
+
+// AddDataPhased is AddData with a carousel phase offset (see AddPhased).
+func (s *Service) AddDataPhased(data []byte, cfg core.Config, rate, phase int) (*core.Session, error) {
 	sess, err := core.NewSessionCached(data, cfg, s.cache)
 	if err != nil {
 		return nil, err
 	}
-	if err := s.Add(sess, rate); err != nil {
+	if err := s.AddPhased(sess, rate, phase); err != nil {
 		return nil, err
 	}
 	return sess, nil
@@ -113,26 +119,66 @@ func (s *Service) AddData(data []byte, cfg core.Config, rate int) (*core.Session
 // The session id (Config().Session) must be unused and must not be the
 // transport wildcard.
 func (s *Service) Add(sess *core.Session, rate int) error {
+	return s.AddPhased(sess, rate, 0)
+}
+
+// AddPhased is Add with a carousel phase offset: the session's sender
+// starts transmitting at the given round instead of round 0, and the phase
+// is advertised in the session's control descriptor. Mirrors of a shared
+// encoding register the same session at staggered phases (§8), so a
+// multi-source receiver sees mostly-disjoint packets early on.
+func (s *Service) AddPhased(sess *core.Session, rate, phase int) error {
+	_, err := s.register(sess, rate, phase, false)
+	return err
+}
+
+// AddManual registers a session — visible to control/catalog like any
+// other, phase advertised — but starts no sender goroutine: the caller
+// drives the returned carousel (through Sender() to keep the counters
+// honest, or any other emit). This is the virtual-time shape: deterministic
+// experiments and the loss-injection harness step mirrors on a virtual
+// clock instead of real pacing.
+func (s *Service) AddManual(sess *core.Session, rate, phase int) (*core.Carousel, error) {
+	if _, err := s.register(sess, rate, phase, true); err != nil {
+		return nil, err
+	}
+	return core.NewCarouselAt(sess, phase), nil
+}
+
+// register validates and inserts a fully initialized registry entry, and
+// (unless manual) starts the paced sender goroutine. It holds the registry
+// lock throughout so a concurrent Remove can never observe a half-built
+// entry.
+func (s *Service) register(sess *core.Session, rate, phase int, manual bool) (*entry, error) {
 	if rate <= 0 {
 		rate = s.cfg.BaseRate
 	}
+	if phase < 0 {
+		phase = 0 // keep the advertised phase equal to the carousel's clamp
+	}
 	id := sess.Config().Session
 	if id == transport.SessionAny {
-		return fmt.Errorf("service: session id %#x is the wildcard id", id)
+		return nil, fmt.Errorf("service: session id %#x is the wildcard id", id)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
-		return errors.New("service: closed")
+		return nil, errors.New("service: closed")
 	}
 	if _, dup := s.sessions[id]; dup {
-		return fmt.Errorf("service: session id %#x already registered", id)
+		return nil, fmt.Errorf("service: session id %#x already registered", id)
 	}
-	ctx, cancel := context.WithCancel(s.ctx)
-	e := &entry{sess: sess, rate: rate, cancel: cancel, done: make(chan struct{})}
+	e := &entry{sess: sess, rate: rate, phase: phase, done: make(chan struct{})}
+	if manual {
+		e.cancel = func() {}
+		close(e.done) // no sender goroutine to join at Remove/Close time
+	} else {
+		ctx, cancel := context.WithCancel(s.ctx)
+		e.cancel = cancel
+		go s.run(ctx, e)
+	}
 	s.sessions[id] = e
-	go s.run(ctx, e)
-	return nil
+	return e, nil
 }
 
 // run is one session's sender: server.Engine's real-time pacing over a
@@ -140,8 +186,14 @@ func (s *Service) Add(sess *core.Session, rate int) error {
 // counters and any pacing fix lands in exactly one place.
 func (s *Service) run(ctx context.Context, e *entry) {
 	defer close(e.done)
-	server.New(e.sess, countingSender{s}).Run(ctx, e.rate)
+	server.NewAt(e.sess, countingSender{s}, e.phase).Run(ctx, e.rate)
 }
+
+// Sender returns the service's counting sender: packets emitted through it
+// reach the service transport and move the Stats counters. Manual-session
+// drivers (AddManual) use it so virtual-time harnesses account traffic the
+// same way paced senders do.
+func (s *Service) Sender() server.Sender { return countingSender{s} }
 
 // countingSender forwards to the service transport, counting traffic.
 // Transport errors are counted and the packet dropped — a fountain
@@ -191,6 +243,7 @@ func (s *Service) Lookup(id uint16) (proto.SessionInfo, bool) {
 func (s *Service) describe(e *entry) proto.SessionInfo {
 	info := e.sess.Info()
 	info.BaseRate = uint32(e.rate)
+	info.Phase = uint32(e.phase)
 	return info
 }
 

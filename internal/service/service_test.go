@@ -301,3 +301,105 @@ func TestHandleControl(t *testing.T) {
 		t.Fatal("garbage answered")
 	}
 }
+
+// TestPhasedAndManualSessions: AddPhased must advertise the phase in the
+// control descriptor and start its carousel there; AddManual must register
+// without a sender goroutine, count traffic through Sender(), and tear
+// down cleanly via Remove/Close.
+func TestPhasedAndManualSessions(t *testing.T) {
+	rec := &recorder{}
+	svc := New(rec, Config{BaseRate: 500})
+	defer svc.Close()
+
+	paced, err := core.NewSession(randBytes(21, 20_000), sessionConfig(proto.CodecCauchy, 0x21, 21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := svc.AddPhased(paced, 0, 7); err != nil {
+		t.Fatal(err)
+	}
+	info, ok := svc.Lookup(0x21)
+	if !ok || info.Phase != 7 {
+		t.Fatalf("phased descriptor = %+v, %v", info, ok)
+	}
+
+	manualSess, err := core.NewSession(randBytes(22, 20_000), sessionConfig(proto.CodecCauchy, 0x22, 22))
+	if err != nil {
+		t.Fatal(err)
+	}
+	car, err := svc.AddManual(manualSess, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if car.Phase() != 3 || car.Round() != 3 {
+		t.Fatalf("manual carousel at %d/%d, want phase 3", car.Phase(), car.Round())
+	}
+	if info, ok := svc.Lookup(0x22); !ok || info.Phase != 3 {
+		t.Fatalf("manual descriptor = %+v, %v", info, ok)
+	}
+	if _, err := svc.AddManual(manualSess, 0, 0); err == nil {
+		t.Fatal("duplicate manual registration accepted")
+	}
+
+	// Manual stepping through the counting sender moves the stats.
+	before := svc.Stats().PacketsSent
+	if err := car.NextRound(svc.Sender().Send); err != nil {
+		t.Fatal(err)
+	}
+	if got := svc.Stats().PacketsSent; got <= before {
+		t.Fatalf("manual round not counted: %d -> %d", before, got)
+	}
+	// The manual round's packets carry the session id and phase-shifted
+	// round position but still serials starting at 1.
+	rec.mu.Lock()
+	var manualHdrs []proto.Header
+	for _, h := range rec.hdrs {
+		if h.Session == 0x22 {
+			manualHdrs = append(manualHdrs, h)
+		}
+	}
+	rec.mu.Unlock()
+	if len(manualHdrs) == 0 || manualHdrs[0].Serial != 1 {
+		t.Fatalf("manual emission headers wrong: %+v", manualHdrs)
+	}
+
+	// Remove of a manual session must not hang (no goroutine to join).
+	doneCh := make(chan error, 1)
+	go func() { doneCh <- svc.Remove(0x22) }()
+	select {
+	case err := <-doneCh:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Remove of manual session hung")
+	}
+	if st := svc.Stats(); st.Sessions != 1 {
+		t.Fatalf("sessions = %d after manual remove", st.Sessions)
+	}
+}
+
+// TestCatalogCarriesPhases: a service mirroring the same encoding twice
+// under different session ids (as one box backing two mirror identities
+// would) must advertise each registration's own phase.
+func TestCatalogCarriesPhases(t *testing.T) {
+	rec := &recorder{}
+	svc := New(rec, Config{BaseRate: 500})
+	defer svc.Close()
+	for i, phase := range []int{0, 11} {
+		sess, err := core.NewSession(randBytes(31, 15_000), sessionConfig(proto.CodecCauchy, uint16(0x31+i), 31))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := svc.AddManual(sess, 0, phase); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cat, err := proto.ParseCatalog(svc.HandleControl(proto.MarshalCatalogRequest()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cat) != 2 || cat[0].Phase != 0 || cat[1].Phase != 11 {
+		t.Fatalf("catalog phases wrong: %+v", cat)
+	}
+}

@@ -61,6 +61,7 @@ type BusClient struct {
 	mu      sync.Mutex
 	level   int // subscribed to layers 0..level
 	loss    netsim.LossProcess
+	byLayer []netsim.LossProcess // optional per-layer override
 	handler Handler
 	closed  bool
 }
@@ -73,6 +74,22 @@ func (b *Bus) NewClient(level int, loss netsim.LossProcess, h Handler) *BusClien
 	b.subs[c] = struct{}{}
 	b.mu.Unlock()
 	return c
+}
+
+// SetLayerLoss overrides the client's loss process for one layer: that
+// layer's deliveries consult lp instead of the client-wide process (nil
+// restores the default). Heterogeneous per-layer loss is how the harness
+// models paths whose congestion hits the high-rate layers first.
+func (c *BusClient) SetLayerLoss(layer int, lp netsim.LossProcess) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if layer < 0 || layer >= c.bus.layers {
+		return
+	}
+	if c.byLayer == nil {
+		c.byLayer = make([]netsim.LossProcess, c.bus.layers)
+	}
+	c.byLayer[layer] = lp
 }
 
 // SetLevel changes the client's cumulative subscription level.
@@ -105,11 +122,80 @@ func (c *BusClient) deliver(layer int, pkt []byte) {
 		c.mu.Unlock()
 		return
 	}
-	lost := c.loss != nil && c.loss.Lose()
+	lp := c.loss
+	if c.byLayer != nil && c.byLayer[layer] != nil {
+		lp = c.byLayer[layer]
+	}
+	lost := lp != nil && lp.Lose()
 	h := c.handler
 	c.mu.Unlock()
 	if lost || h == nil {
 		return
 	}
 	h(layer, pkt)
+}
+
+// Pump is a deterministic virtual-clock scheduler for bus-based testbeds:
+// each registered source (a mirror's carousel, a background traffic
+// generator, ...) fires at a fixed virtual-time interval, and Run advances
+// the clock from event to event — no sleeps, no goroutines, bit-identical
+// across runs. Ties fire in registration order, so interleaving is
+// reproducible even for sources at identical rates.
+//
+// This substitutes wall-clock pacing (server.Engine.Run) in tests: a full
+// multi-mirror round-trip over lossy buses executes at CPU speed with a
+// stable packet interleaving, which is what makes loss-injection scenarios
+// assertable down to exact packet counts.
+type Pump struct {
+	now  float64
+	srcs []*pumpSource
+}
+
+type pumpSource struct {
+	interval float64
+	next     float64
+	step     func() error
+}
+
+// NewPump creates an empty pump at virtual time 0.
+func NewPump() *Pump { return &Pump{} }
+
+// Add registers a source firing every `interval` virtual seconds, first at
+// `start`. Typical use: one source per mirror with interval = 1/rate.
+func (p *Pump) Add(start, interval float64, step func() error) {
+	if interval <= 0 {
+		interval = 1
+	}
+	p.srcs = append(p.srcs, &pumpSource{interval: interval, next: start, step: step})
+}
+
+// Now returns the current virtual time.
+func (p *Pump) Now() float64 { return p.now }
+
+// Run fires sources in virtual-time order until done() reports true
+// (checked after every step), maxSteps steps have run, or a step fails. It
+// returns the number of steps executed and the first step error, if any.
+func (p *Pump) Run(maxSteps int, done func() bool) (steps int, err error) {
+	if len(p.srcs) == 0 {
+		return 0, nil
+	}
+	for steps = 0; steps < maxSteps; steps++ {
+		if done != nil && done() {
+			return steps, nil
+		}
+		src := p.srcs[0]
+		for _, s := range p.srcs[1:] {
+			if s.next < src.next {
+				src = s
+			}
+		}
+		if src.next > p.now {
+			p.now = src.next
+		}
+		src.next += src.interval
+		if err := src.step(); err != nil {
+			return steps + 1, err
+		}
+	}
+	return steps, nil
 }

@@ -1,0 +1,155 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+)
+
+// MultiClient joins the same session on several fountain servers at once —
+// the receiver half of the §8 mirrored-server application. Each source is
+// an independent UDPClient (own socket, own subscription state); one
+// goroutine per source funnels arriving datagrams, tagged with their source
+// index, into a single queue the caller drains with Recv. Because fountain
+// packets from mirrors of one encoding are interchangeable, no coordination
+// between the sources is needed: the client engine simply decodes the
+// union.
+type MultiClient struct {
+	clients []*UDPClient
+	ch      chan sourcedPacket
+	done    chan struct{}
+	wg      sync.WaitGroup
+	closing sync.Once
+
+	mu    sync.Mutex
+	level int
+}
+
+type sourcedPacket struct {
+	src int
+	pkt []byte
+}
+
+// NewMultiClient dials every server's data port and subscribes each to
+// layers 0..level of the given session. Source indices in Recv correspond
+// to positions in servers. On any error the already-opened sockets are
+// closed.
+func NewMultiClient(servers []*net.UDPAddr, session uint16, level int) (*MultiClient, error) {
+	if len(servers) == 0 {
+		return nil, errors.New("transport: multi-client needs at least one server")
+	}
+	m := &MultiClient{
+		ch:    make(chan sourcedPacket, 1024),
+		done:  make(chan struct{}),
+		level: level,
+	}
+	for i, addr := range servers {
+		c, err := NewUDPClientSession(addr, session, level)
+		if err != nil {
+			m.Close()
+			return nil, fmt.Errorf("transport: source %d (%s): %w", i, addr, err)
+		}
+		m.clients = append(m.clients, c)
+	}
+	for i, c := range m.clients {
+		m.wg.Add(1)
+		go m.pull(i, c)
+	}
+	return m, nil
+}
+
+// pull is one source's read loop: socket → tagged queue.
+func (m *MultiClient) pull(src int, c *UDPClient) {
+	defer m.wg.Done()
+	for {
+		select {
+		case <-m.done:
+			return
+		default:
+		}
+		// A short read deadline doubles as the shutdown poll interval.
+		pkt, ok := c.Recv(250 * time.Millisecond)
+		if !ok {
+			continue // timeout or closing socket; the done check decides
+		}
+		select {
+		case m.ch <- sourcedPacket{src: src, pkt: pkt}:
+		case <-m.done:
+			return
+		}
+	}
+}
+
+// Sources returns the number of joined servers.
+func (m *MultiClient) Sources() int { return len(m.clients) }
+
+// Recv blocks for the next packet from any source (with timeout),
+// returning the index of the server that sent it. ok=false on timeout or
+// close.
+func (m *MultiClient) Recv(timeout time.Duration) (src int, pkt []byte, ok bool) {
+	select {
+	case <-m.done:
+		return 0, nil, false // closed: don't drain stale buffered packets
+	default:
+	}
+	// Fast path: a buffered packet needs no timer — on a busy stream this
+	// keeps the per-packet cost to one channel receive.
+	select {
+	case sp := <-m.ch:
+		return sp.src, sp.pkt, true
+	default:
+	}
+	t := time.NewTimer(timeout)
+	defer t.Stop()
+	select {
+	case sp := <-m.ch:
+		return sp.src, sp.pkt, true
+	case <-m.done:
+		return 0, nil, false
+	case <-t.C:
+		return 0, nil, false
+	}
+}
+
+// SetLevel adjusts the cumulative subscription level on every source — the
+// worst-source congestion rule yields one effective level, and all mirrors
+// are (un)subscribed together. The first error is returned, but every
+// source is attempted.
+func (m *MultiClient) SetLevel(level int) error {
+	m.mu.Lock()
+	m.level = level
+	m.mu.Unlock()
+	var first error
+	for _, c := range m.clients {
+		if err := c.SetLevel(level); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Level returns the last level requested via SetLevel (or the initial
+// one).
+func (m *MultiClient) Level() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.level
+}
+
+// Close unsubscribes and closes every source socket and waits for the
+// funnel goroutines to exit.
+func (m *MultiClient) Close() error {
+	var first error
+	m.closing.Do(func() {
+		close(m.done)
+		for _, c := range m.clients {
+			if err := c.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		m.wg.Wait()
+	})
+	return first
+}

@@ -3,6 +3,7 @@ package transport
 import (
 	"bytes"
 	"math/rand"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -285,4 +286,166 @@ func TestServeControlFuncStopJoins(t *testing.T) {
 	}
 	stop()
 	stop() // idempotent
+}
+
+// TestPumpOrderingDeterministic: sources fire in virtual-time order with
+// registration-order tie-breaking, so the interleaving is reproducible.
+func TestPumpOrderingDeterministic(t *testing.T) {
+	run := func() []int {
+		p := NewPump()
+		var order []int
+		p.Add(0, 1.0, func() error { order = append(order, 0); return nil })
+		p.Add(0, 1.0, func() error { order = append(order, 1); return nil })
+		p.Add(0, 0.5, func() error { order = append(order, 2); return nil })
+		if _, err := p.Run(12, nil); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 12 {
+		t.Fatalf("ran %d steps, want 12", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("interleavings diverge at %d: %v vs %v", i, a, b)
+		}
+	}
+	// The double-rate source must fire twice as often as each unit-rate one.
+	count := map[int]int{}
+	for _, s := range a {
+		count[s]++
+	}
+	if count[2] != count[0]+count[1] {
+		t.Fatalf("rate weighting wrong: %v", count)
+	}
+}
+
+// TestPumpStopsOnDoneAndError: done() halts the pump between steps; a step
+// error propagates with the step counted.
+func TestPumpStopsOnDoneAndError(t *testing.T) {
+	p := NewPump()
+	n := 0
+	p.Add(0, 1, func() error { n++; return nil })
+	steps, err := p.Run(100, func() bool { return n >= 5 })
+	if err != nil || steps != 5 || n != 5 {
+		t.Fatalf("steps=%d n=%d err=%v", steps, n, err)
+	}
+	boom := errForTest{}
+	p2 := NewPump()
+	p2.Add(0, 1, func() error { return boom })
+	if steps, err := p2.Run(100, nil); err != boom || steps != 1 {
+		t.Fatalf("steps=%d err=%v", steps, err)
+	}
+	if steps, err := NewPump().Run(100, nil); steps != 0 || err != nil {
+		t.Fatalf("empty pump ran %d steps, err=%v", steps, err)
+	}
+}
+
+type errForTest struct{}
+
+func (errForTest) Error() string { return "boom" }
+
+// TestBusPerLayerLoss: a per-layer override must shadow the client-wide
+// process on its layer only.
+func TestBusPerLayerLoss(t *testing.T) {
+	b := NewBus(2)
+	got := map[int]int{}
+	c := b.NewClient(1, nil, func(layer int, pkt []byte) { got[layer]++ })
+	defer c.Close()
+	c.SetLayerLoss(1, &alwaysLose{})
+	for i := 0; i < 50; i++ {
+		b.Send(0, []byte{0})
+		b.Send(1, []byte{1})
+	}
+	if got[0] != 50 || got[1] != 0 {
+		t.Fatalf("deliveries %v, want layer 0 = 50, layer 1 = 0", got)
+	}
+	c.SetLayerLoss(1, nil) // restore default (lossless)
+	b.Send(1, []byte{1})
+	if got[1] != 1 {
+		t.Fatal("clearing the override did not restore delivery")
+	}
+}
+
+type alwaysLose struct{}
+
+func (alwaysLose) Lose() bool { return true }
+
+// TestMultiClientHarvestsAllSources: a MultiClient joined to two UDP
+// servers must deliver both servers' packets tagged with the right source
+// index, and SetLevel must fan out to every source.
+func TestMultiClientHarvestsAllSources(t *testing.T) {
+	const session = 0xCAFE
+	srvs := make([]*UDPServer, 2)
+	for i := range srvs {
+		s, err := NewUDPServer("127.0.0.1:0", 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		srvs[i] = s
+	}
+	mc, err := NewMultiClient([]*net.UDPAddr{srvs[0].Addr(), srvs[1].Addr()}, session, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	if mc.Sources() != 2 {
+		t.Fatalf("sources = %d", mc.Sources())
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for srvs[0].SessionSubscribers(session, 0) == 0 || srvs[1].SessionSubscribers(session, 0) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriptions never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	mkPkt := func(src byte) []byte {
+		h := proto.Header{Index: uint32(src), Serial: 1, Session: session}
+		return append(h.Marshal(nil), src)
+	}
+	for i := 0; i < 5; i++ {
+		if err := srvs[0].Send(0, mkPkt(0)); err != nil {
+			t.Fatal(err)
+		}
+		if err := srvs[1].Send(0, mkPkt(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bySource := map[int]int{}
+	for len(bySource) < 2 {
+		src, pkt, ok := mc.Recv(2 * time.Second)
+		if !ok {
+			t.Fatalf("timed out with sources %v", bySource)
+		}
+		h, payload, err := proto.ParseHeader(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if int(h.Index) != src || int(payload[0]) != src {
+			t.Fatalf("packet from server %d delivered as source %d", h.Index, src)
+		}
+		bySource[src]++
+	}
+	// Level fan-out: raising to 1 must join layer 1 on both servers.
+	if err := mc.SetLevel(1); err != nil {
+		t.Fatal(err)
+	}
+	if mc.Level() != 1 {
+		t.Fatalf("level = %d", mc.Level())
+	}
+	deadline = time.Now().Add(2 * time.Second) // fresh budget: Recvs above may have eaten the first
+	for srvs[0].SessionSubscribers(session, 1) == 0 || srvs[1].SessionSubscribers(session, 1) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("layer-1 joins never registered")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if err := mc.Close(); err != nil { // idempotent double close
+		t.Fatal(err)
+	}
+	if _, _, ok := mc.Recv(50 * time.Millisecond); ok {
+		t.Fatal("Recv succeeded after Close")
+	}
 }
