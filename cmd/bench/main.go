@@ -1,7 +1,9 @@
 // Command bench runs the codec benchmarks that back the paper's Tables 2-3
 // (encode and decode throughput for Tornado A/B and the two Reed-Solomon
-// baselines) and writes the results as machine-readable JSON, so the
-// performance trajectory can be tracked PR over PR.
+// baselines, plus the rateless LT codec at k = 1000 and 10000) and writes
+// the results as machine-readable JSON, so the performance trajectory can
+// be tracked PR over PR. Decode rows also carry the measured reception
+// overhead (packets needed / k, averaged over fresh reception orders).
 //
 // Usage:
 //
@@ -20,6 +22,7 @@ import (
 
 	fountain "repro"
 	"repro/internal/benchproto"
+	"repro/internal/code"
 )
 
 type result struct {
@@ -33,7 +36,14 @@ type result struct {
 	MBPerSec    float64 `json:"mb_per_s"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
+	// Overhead is the measured reception overhead (packets needed / k) of
+	// decode rows, averaged over overheadTrials fresh reception orders.
+	Overhead float64 `json:"overhead,omitempty"`
 }
+
+// overheadTrials is the number of independent reception orders averaged
+// into each decode row's Overhead figure.
+const overheadTrials = 5
 
 type report struct {
 	GOOS       string    `json:"goos"`
@@ -127,7 +137,21 @@ func main() {
 		})
 		decRes.Name, decRes.Op = c.name, "decode"
 		decRes.K, decRes.N, decRes.PacketLen = kk, codec.N(), ppl
+		decRes.Overhead = fixedOverhead(codec, enc, kk, tornadoStyle)
 		rep.Results = append(rep.Results, decRes)
+	}
+
+	// The rateless LT codec, at the ISSUE-4 reference sizes. Throughput is
+	// per k packets' worth of payload so the MB/s figures are comparable
+	// with the fixed-rate rows, and reception overhead is measured over
+	// fresh regions of the unbounded index space.
+	for _, ltK := range []int{1000, 10000} {
+		res, err := benchLT(ltK, ppl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: lt k=%d: %v\n", ltK, err)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, res...)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -145,10 +169,130 @@ func main() {
 		os.Exit(1)
 	}
 	for _, r := range rep.Results {
-		fmt.Printf("%-16s %-7s %12.0f ns/op %9.2f MB/s %10d B/op %7d allocs/op\n",
-			r.Name, r.Op, r.NsPerOp, r.MBPerSec, r.BytesPerOp, r.AllocsPerOp)
+		ov := ""
+		if r.Overhead > 0 {
+			ov = fmt.Sprintf(" %7.4f pkts/k", r.Overhead)
+		}
+		fmt.Printf("%-16s %-7s k=%-6d %12.0f ns/op %9.2f MB/s %10d B/op %7d allocs/op%s\n",
+			r.Name, r.Op, r.K, r.NsPerOp, r.MBPerSec, r.BytesPerOp, r.AllocsPerOp, ov)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// fixedOverhead measures a fixed-rate codec's reception overhead (packets
+// needed / k) over fresh Table-3 reception orders.
+func fixedOverhead(codec fountain.Codec, enc [][]byte, k int, tornadoStyle bool) float64 {
+	rng := rand.New(rand.NewSource(77))
+	total := 0
+	for trial := 0; trial < overheadTrials; trial++ {
+		var order []int
+		if tornadoStyle {
+			order = benchproto.TornadoOrder(rng, codec.N())
+		} else {
+			order = benchproto.RSOrder(rng, k)
+		}
+		d := codec.NewDecoder()
+		for _, j := range order {
+			total++
+			done, err := d.Add(j, enc[j])
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: overhead add: %v\n", err)
+				os.Exit(1)
+			}
+			if done {
+				break
+			}
+		}
+		if !d.Done() {
+			// A decoder that exhausts its reception order without
+			// completing is a regression; a quiet overhead figure would
+			// mask exactly what this field exists to track.
+			fmt.Fprintf(os.Stderr, "bench: %s did not decode within its reception order\n", codec.Name())
+			os.Exit(1)
+		}
+	}
+	return float64(total) / float64(overheadTrials) / float64(k)
+}
+
+// benchLT produces the encode/decode rows of the rateless codec at one k:
+// encode throughput over k-packet windows of the unbounded index stream,
+// decode throughput over a fresh stream region per iteration, and the
+// averaged reception overhead on the decode row.
+func benchLT(k, pl int) ([]result, error) {
+	codec, err := fountain.NewLT(k, pl, 1, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	ranger := codec.(code.RangeEncoder)
+	src := benchproto.Source(k, pl)
+	// Enough stream for any single decode: measured overhead stays under
+	// 1.1; a quarter plus slack gives deterministic headroom.
+	budget := k + k/4 + 256
+
+	base := 0
+	encRes := runBench(k*pl, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ranger.EncodeRange(src, base, base+k); err != nil {
+				b.Fatal(err)
+			}
+			base += k
+		}
+	})
+	encRes.Name, encRes.Op = codec.Name(), "encode"
+	encRes.K, encRes.N, encRes.PacketLen = k, codec.N(), pl
+
+	decBase := 1 << 28
+	decRes := runBench(k*pl, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// Stream generation is the encoder's work: off the clock.
+			b.StopTimer()
+			pool, err := ranger.EncodeRange(src, decBase, decBase+budget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			d := codec.NewDecoder()
+			done := false
+			for j := 0; j < len(pool) && !done; j++ {
+				if done, err = d.Add(decBase+j, pool[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !done {
+				b.Fatalf("lt k=%d: stream budget %d exhausted", k, budget)
+			}
+			if _, err := d.Source(); err != nil {
+				b.Fatal(err)
+			}
+			decBase += budget
+		}
+	})
+	decRes.Name, decRes.Op = codec.Name(), "decode"
+	decRes.K, decRes.N, decRes.PacketLen = k, codec.N(), pl
+
+	// Reception overhead over fresh stream regions.
+	total := 0
+	ovBase := 1 << 30
+	for trial := 0; trial < overheadTrials; trial++ {
+		pool, err := ranger.EncodeRange(src, ovBase, ovBase+budget)
+		if err != nil {
+			return nil, err
+		}
+		d := codec.NewDecoder()
+		done := false
+		for j := 0; j < len(pool) && !done; j++ {
+			total++
+			if done, err = d.Add(ovBase+j, pool[j]); err != nil {
+				return nil, err
+			}
+		}
+		if !done {
+			return nil, fmt.Errorf("stream budget %d exhausted", budget)
+		}
+		ovBase += budget
+	}
+	decRes.Overhead = float64(total) / float64(overheadTrials) / float64(k)
+	return []result{encRes, decRes}, nil
 }
 
 // runBench wraps testing.Benchmark (which scales iterations to ~1s of

@@ -44,7 +44,9 @@ func main() {
 		ctrlAddr = flag.String("control", "127.0.0.1:9001", "control socket address")
 		layers   = flag.Int("layers", 4, "multicast layers")
 		rate     = flag.Int("rate", 2048, "base-layer rate per session, packets/second")
-		codec    = flag.String("codec", "tornado-a", "tornado-a|tornado-b|cauchy|vandermonde|interleaved")
+		codec    = flag.String("codec", "tornado-a", "tornado-a|tornado-b|cauchy|vandermonde|interleaved|lt")
+		ltc      = flag.Float64("lt-c", 0, "LT robust-soliton c (0 = default; -codec lt only)")
+		ltdelta  = flag.Float64("lt-delta", 0, "LT robust-soliton delta (0 = default; -codec lt only)")
 		pktLen   = flag.Int("pkt", 500, "payload bytes per packet")
 		seed     = flag.Int64("seed", 1998, "graph seed")
 		baseID   = flag.Uint("session", 0xDF98, "session id of the first file (subsequent files increment)")
@@ -88,6 +90,8 @@ func main() {
 		cfg.PacketLen = *pktLen
 		cfg.Seed = *seed + int64(i)
 		cfg.Session = uint16(*baseID) + uint16(i)
+		cfg.LTC = *ltc
+		cfg.LTDelta = *ltdelta
 		sess, err := svc.AddDataPhased(data, cfg, *rate, *phase)
 		if err != nil {
 			log.Fatal(err)
@@ -96,6 +100,14 @@ func main() {
 		mode := "eager"
 		if sess.Lazy() {
 			mode = "lazy"
+		}
+		if sess.Rateless() {
+			// A rateless mirror needs no phase coordination, only an
+			// arbitrary distinct stream start; describe the fountain shape.
+			fmt.Printf("fountain-server: session %#x %s (%d bytes, k=%d, rateless LT c=%.3g delta=%.3g, stream start %d)\n",
+				cfg.Session, file, len(data), info.K,
+				float64(info.LTCMicro)/1e6, float64(info.LTDeltaMicro)/1e6, *phase)
+			continue
 		}
 		fmt.Printf("fountain-server: session %#x %s (%d bytes, k=%d, n=%d, phase=%d, %s encoding)\n",
 			cfg.Session, file, len(data), info.K, info.N, *phase, mode)
@@ -144,6 +156,8 @@ func codecByName(name string) (uint8, error) {
 		return proto.CodecVandermonde, nil
 	case "interleaved":
 		return proto.CodecInterleaved, nil
+	case "lt":
+		return proto.CodecLT, nil
 	default:
 		return 0, fmt.Errorf("unknown codec %q", name)
 	}

@@ -14,7 +14,8 @@
 //   - Erasure codecs: Tornado codes (the paper's contribution: XOR-only
 //     sparse-graph codes with a few percent reception overhead and
 //     near-linear coding time), Reed-Solomon baselines (Vandermonde and
-//     Cauchy), and interleaved block codes.
+//     Cauchy), interleaved block codes, and a rateless LT code (the true
+//     unbounded fountain the fixed-rate codes approximate — see NewLT).
 //   - Sessions: a file bound to a codec and a carousel/layered schedule.
 //   - Server and Client engines speaking the prototype's wire protocol
 //     (12-byte headers, SP/burst markers, layered congestion control)
@@ -31,6 +32,7 @@ import (
 	"repro/internal/code"
 	"repro/internal/core"
 	"repro/internal/interleave"
+	"repro/internal/lt"
 	"repro/internal/proto"
 	"repro/internal/rs"
 	"repro/internal/server"
@@ -86,6 +88,27 @@ func NewInterleaved(totalK, blockK, stretch, packetLen int) (Codec, error) {
 	return interleave.NewForFile(totalK, blockK, stretch, packetLen)
 }
 
+// RatelessN is the N() sentinel of a rateless codec: the index space is
+// effectively unbounded, so carousels stream fresh monotone indices
+// forever instead of cycling a finite encoding.
+const RatelessN = code.UnboundedN
+
+// NewLT constructs the rateless Luby Transform codec — the realization of
+// the paper's ideal digital fountain (§3, §9). Every encoding packet's
+// degree and neighbor set are a pure function of (seed, index) under the
+// robust soliton distribution; c and delta tune it (<= 0 selects the
+// defaults). Any k(1+ε) distinct packets decode, ε a few percent, via
+// peeling plus an inactivation fallback. LT sessions need no stretch
+// factor, no carousel phase coordination between mirrors, and no repair
+// memory beyond the source packets.
+func NewLT(k, packetLen int, seed int64, c, delta float64) (Codec, error) {
+	return lt.New(k, packetLen, seed, c, delta)
+}
+
+// IsRateless reports whether a codec's index space is unbounded (its N()
+// is RatelessN and every packet is derivable independently by index).
+func IsRateless(c Codec) bool { return code.IsRateless(c) }
+
 // Session is an encoded file ready for fountain transmission.
 type Session = core.Session
 
@@ -106,6 +129,7 @@ const (
 	CodecVandermonde = proto.CodecVandermonde
 	CodecCauchy      = proto.CodecCauchy
 	CodecInterleaved = proto.CodecInterleaved
+	CodecLT          = proto.CodecLT
 )
 
 // DefaultConfig mirrors the paper's prototype: Tornado A, 500-byte

@@ -1,10 +1,15 @@
 // Package code defines the erasure-code abstraction shared by every codec
 // in this repository (Tornado, Reed-Solomon Vandermonde, Reed-Solomon
-// Cauchy, and interleaved block codes), plus payload split/join helpers.
+// Cauchy, interleaved block codes, and the rateless LT code), plus payload
+// split/join helpers.
 //
-// All codecs are systematic and fixed-rate: k source packets are stretched
+// The fixed-rate codecs are systematic: k source packets are stretched
 // into n encoding packets whose first k entries are the source packets
 // themselves (the paper fixes the stretch factor n/k = 2 throughout).
+// Rateless codecs (LT) instead expose an effectively unbounded index space
+// — N() returns the UnboundedN sentinel and every encoding packet is
+// derived independently from its index — realizing the paper's ideal
+// digital fountain (§3) that the fixed-rate codes only approximate.
 package code
 
 import (
@@ -49,6 +54,31 @@ type RangeEncoder interface {
 	// source packets alias src; repair entries are freshly allocated.
 	// src must be the full k source packets.
 	EncodeRange(src [][]byte, lo, hi int) ([][]byte, error)
+}
+
+// UnboundedN is the N() sentinel of a rateless codec: 2^31 - 1, the
+// largest index count that fits an int on every platform (and the uint32
+// wire field). Any index below it is a valid encoding packet; the index
+// space is never exhausted in practice — a two-billion-packet stream is
+// weeks of continuous transmission — so the carousel streams monotonically
+// increasing indices instead of cycling, wrapping harmlessly onto
+// long-consumed indices if a session outlives the space.
+const UnboundedN = 1<<31 - 1
+
+// Rateless is an optional Codec capability marking codecs whose encoding
+// is unbounded: N() returns UnboundedN, Encode is unavailable (there is no
+// "full encoding" to materialize), and every packet must be produced
+// through EncodeRange. A rateless codec always implements RangeEncoder —
+// packet i's content is a pure function of (codec parameters, i).
+type Rateless interface {
+	// RatelessCode is a marker; implementations return no value.
+	RatelessCode()
+}
+
+// IsRateless reports whether the codec's encoding is unbounded.
+func IsRateless(c Codec) bool {
+	_, ok := c.(Rateless)
+	return ok
 }
 
 // Decoder incrementally consumes encoding packets until the source data is

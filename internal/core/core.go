@@ -13,11 +13,13 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"sync"
 
 	"repro/internal/code"
 	"repro/internal/interleave"
+	"repro/internal/lt"
 	"repro/internal/proto"
 	"repro/internal/rs"
 	"repro/internal/sched"
@@ -39,6 +41,14 @@ type Config struct {
 	// block when the session is built with NewSessionCached (0 = 64). It
 	// has no effect on eager sessions.
 	LazyBlock int
+	// LTC and LTDelta tune the robust soliton degree distribution when
+	// Codec is CodecLT (<= 0 selects the lt package defaults). They are
+	// quantized to millionths for the wire, and the session builds its
+	// codec from the quantized values so sender and receivers derive the
+	// identical distribution. Stretch is ignored for CodecLT — a rateless
+	// code has no stretch factor.
+	LTC     float64
+	LTDelta float64
 }
 
 // DefaultConfig mirrors the prototype in §7.3: Tornado A, 500-byte
@@ -71,7 +81,14 @@ type Session struct {
 	fileLen  int
 	fileHash uint64
 	sched    *sched.Schedule
-	perm     []int // randomized carousel order for single-layer mode
+	perm     []int // randomized carousel order for single-layer mode (nil when rateless)
+
+	// rateless marks sessions whose codec has an unbounded index space
+	// (code.Rateless). Their carousels stream monotonically increasing
+	// fresh indices instead of cycling a permutation, and payloads are
+	// generated per emission — each index is transmitted at most once, so
+	// nothing is worth caching.
+	rateless bool
 
 	// Lazy-encoding state (nil/zero for eager sessions).
 	src       [][]byte      // the k source packets, aliasing one buffer
@@ -112,9 +129,27 @@ func buildCodec(cfg Config, k int) (code.Codec, error) {
 			bk = 50
 		}
 		return interleave.NewForFile(k, bk, cfg.Stretch, cfg.PacketLen)
+	case proto.CodecLT:
+		cMicro, dMicro := ltWireParams(cfg)
+		return lt.New(k, cfg.PacketLen, cfg.Seed, float64(cMicro)/1e6, float64(dMicro)/1e6)
 	default:
 		return nil, fmt.Errorf("core: unknown codec %d", cfg.Codec)
 	}
+}
+
+// ltWireParams resolves and quantizes a config's robust-soliton parameters
+// to the wire's millionth units. Both the sender's session and the
+// receiver's reconstructed codec pass through this quantization, so the
+// degree distributions match bit for bit.
+func ltWireParams(cfg Config) (cMicro, deltaMicro uint32) {
+	c, d := cfg.LTC, cfg.LTDelta
+	if c <= 0 {
+		c = lt.DefaultC
+	}
+	if d <= 0 || d >= 1 {
+		d = lt.DefaultDelta
+	}
+	return uint32(math.Round(c * 1e6)), uint32(math.Round(d * 1e6))
 }
 
 // PadPacketLen rounds a payload length up to the alignment the codec
@@ -142,7 +177,7 @@ func NewSession(data []byte, cfg Config) (*Session, error) {
 // A nil cache, or a codec that does not implement code.RangeEncoder,
 // degrades to eager encoding (full materialization at construction).
 func NewSessionCached(data []byte, cfg Config, cache *BlockCache) (*Session, error) {
-	if cfg.Stretch < 2 {
+	if cfg.Stretch < 2 && cfg.Codec != proto.CodecLT {
 		return nil, fmt.Errorf("core: stretch %d < 2", cfg.Stretch)
 	}
 	if cfg.Layers < 1 || cfg.Layers > 16 {
@@ -179,8 +214,19 @@ func NewSessionCached(data []byte, cfg Config, cache *BlockCache) (*Session, err
 		fileLen:  len(data),
 		fileHash: proto.FNV64a(data),
 		sched:    sc,
-		perm:     rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)).Perm(codec.N()),
 	}
+	if code.IsRateless(codec) {
+		// Rateless session: only the k source packets are resident, ever.
+		// The monotone carousel emits each index once, so there is no
+		// reuse for the block cache to exploit — payloads are generated
+		// per emission and dropped, and memory stays bounded at the
+		// source buffer regardless of how long the fountain runs.
+		s.rateless = true
+		s.src = src
+		s.ranger = codec.(code.RangeEncoder)
+		return s, nil
+	}
+	s.perm = rand.New(rand.NewSource(cfg.Seed ^ 0x5eed)).Perm(codec.N())
 	if ranger, ok := codec.(code.RangeEncoder); ok && cache != nil {
 		s.src = src
 		s.ranger = ranger
@@ -222,6 +268,10 @@ func NewSessionCached(data []byte, cfg Config, cache *BlockCache) (*Session, err
 // Lazy reports whether the session encodes repair blocks on demand.
 func (s *Session) Lazy() bool { return s.enc == nil }
 
+// Rateless reports whether the session's codec has an unbounded index
+// space: its carousel streams fresh monotone indices instead of cycling.
+func (s *Session) Rateless() bool { return s.rateless }
+
 // Payload returns the payload bytes of encoding packet idx. Eager sessions
 // index the materialized encoding; lazy sessions consult the shared block
 // cache, encoding on a miss — the containing block on its first-ever
@@ -230,6 +280,11 @@ func (s *Session) Lazy() bool { return s.enc == nil }
 func (s *Session) Payload(idx int) []byte {
 	if s.enc != nil {
 		return s.enc[idx]
+	}
+	if s.rateless {
+		// Each index of the monotone stream is emitted at most once;
+		// generate and forget — no cache, no cross-session lock traffic.
+		return s.encodeRange(idx, idx+1)[0]
 	}
 	if f := s.srcAt[idx]; f >= 0 {
 		return s.src[f] // always resident; no cache traffic
@@ -314,6 +369,9 @@ func (s *Session) Info() proto.SessionInfo {
 		}
 		info.InterleaveK = uint32(bk)
 	}
+	if s.cfg.Codec == proto.CodecLT {
+		info.LTCMicro, info.LTDeltaMicro = ltWireParams(s.cfg)
+	}
 	return info
 }
 
@@ -337,7 +395,34 @@ func (s *Session) Packet(idx int, layer uint8, serial uint32, flags uint8) []byt
 // permutation (the randomized carousel of §6); in layered mode it follows
 // the reverse-binary schedule (§7.1.2), which guarantees the One Level
 // Property.
+//
+// Rateless sessions never cycle: round r emits the next fresh slice of the
+// unbounded index stream — one index per round on a single layer, or
+// 2^(g-1) consecutive indices per round split across g layers with the
+// fixed-rate schedule's per-layer slot counts (1, 1, 2, 4, ...). Every
+// index is emitted at most once per stream, so the One Level Property
+// holds trivially, and mirrors starting at different rounds draw from
+// disjoint index regions without any cycle arithmetic.
 func (s *Session) CarouselIndices(layer, round int) []int {
+	if s.rateless {
+		if s.cfg.Layers == 1 {
+			return []int{ratelessIndex(uint64(round))}
+		}
+		per := s.sched.SlotsPerRound(layer)
+		off := 0
+		if layer > 0 {
+			// Slots below this layer: the schedule's cumulative count.
+			off = s.sched.CumulativeSlotsPerRound(layer - 1)
+		}
+		// The slot counts sum to the block size 2^(g-1) = indices per
+		// round.
+		base := uint64(round)*uint64(s.sched.BlockSize()) + uint64(off)
+		out := make([]int, per)
+		for i := range out {
+			out[i] = ratelessIndex(base + uint64(i))
+		}
+		return out
+	}
 	n := s.codec.N()
 	if s.cfg.Layers == 1 {
 		i := round % n
@@ -345,6 +430,15 @@ func (s *Session) CarouselIndices(layer, round int) []int {
 	}
 	idxs := s.sched.PacketIndices(layer, round, n)
 	return idxs
+}
+
+// ratelessIndex folds an unbounded stream position into the valid index
+// range [0, code.UnboundedN): a stream that outlives the space wraps onto
+// long-consumed indices (harmless duplicates eons after their first
+// emission) instead of ever emitting the out-of-range sentinel itself,
+// which every bounds check in the stack rightly rejects.
+func ratelessIndex(pos uint64) int {
+	return int(pos % code.UnboundedN)
 }
 
 // IsSP reports whether the given round carries a synchronization point
@@ -385,6 +479,8 @@ func NewReceiver(info proto.SessionInfo) (*Receiver, error) {
 		Seed:             info.Seed,
 		Session:          info.Session,
 		InterleaveBlockK: int(info.InterleaveK),
+		LTC:              float64(info.LTCMicro) / 1e6,
+		LTDelta:          float64(info.LTDeltaMicro) / 1e6,
 	}
 	codec, err := buildCodec(cfg, int(info.K))
 	if err != nil {

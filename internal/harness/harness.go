@@ -77,11 +77,31 @@ type Testbed struct {
 // CyclePeriod returns the number of rounds after which a full-subscription
 // receiver has seen the entire encoding once: n for the single-layer
 // randomized carousel, the reverse-binary block size 2^(g-1) for g layers.
+// A rateless session has no cycle — CyclePeriod returns 0 and phase
+// staggering is replaced by uncoordinated starts (see New).
 func CyclePeriod(sess *core.Session) int {
+	if sess.Rateless() {
+		return 0
+	}
 	if g := sess.Config().Layers; g > 1 {
 		return 1 << uint(g-1)
 	}
 	return sess.Codec().N()
+}
+
+// uncoordinatedStart returns mirror i's default start round for a rateless
+// session: a pseudorandom draw from a 2^26-round range, the deterministic
+// stand-in for "this mirror has been running for an arbitrary, unknown
+// time". Unlike the fixed-rate phase trick, nothing about the cycle length
+// or the mirror count enters the computation — distinct arbitrary starts
+// are all the fountain property needs, and two mirrors whose index streams
+// would overlap within a download horizon are improbable rather than
+// engineered away.
+func uncoordinatedStart(seed int64, mirror int) int {
+	z := uint64(seed) ^ (uint64(mirror)+1)*0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return int((z ^ (z >> 31)) & (1<<26 - 1))
 }
 
 // New builds the mirrors: one session encoding shared by all (identical by
@@ -100,9 +120,17 @@ func New(cfg Config) (*Testbed, error) {
 		return nil, err
 	}
 	if cfg.Phases == nil {
-		cycle := CyclePeriod(sess)
-		for i := 0; i < cfg.Mirrors; i++ {
-			cfg.Phases = append(cfg.Phases, cycle*i/cfg.Mirrors)
+		if sess.Rateless() {
+			// No cycle to stagger across: every mirror simply starts at an
+			// arbitrary, uncoordinated stream position.
+			for i := 0; i < cfg.Mirrors; i++ {
+				cfg.Phases = append(cfg.Phases, uncoordinatedStart(cfg.Session.Seed, i))
+			}
+		} else {
+			cycle := CyclePeriod(sess)
+			for i := 0; i < cfg.Mirrors; i++ {
+				cfg.Phases = append(cfg.Phases, cycle*i/cfg.Mirrors)
+			}
 		}
 	}
 	if len(cfg.Phases) != cfg.Mirrors {

@@ -1,0 +1,144 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+)
+
+func ltSessionConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Codec = proto.CodecLT
+	cfg.Layers = 1
+	cfg.PacketLen = 16
+	cfg.Session = 0x17DF
+	cfg.Seed = 77
+	return cfg
+}
+
+// TestLTUnstaggeredMirrors is the rateless acceptance scenario (ISSUE 4):
+// three mirrors of one LT session, each starting at an arbitrary
+// UNcoordinated stream position (no phase trick — no cycle arithmetic, no
+// knowledge of the mirror count), 10-20% injected loss per path, k=10000.
+// The fountain property alone must keep duplicate waste near zero: every
+// mirror draws fresh indices from the unbounded space, so, unlike the
+// fixed-rate carousels that §8 phase-staggers, the feeds cannot collide
+// within a download horizon. Asserts the two ISSUE acceptance bars:
+// reception overhead ≤ 1.15·k and < 2% duplicates among consumed packets.
+func TestLTUnstaggeredMirrors(t *testing.T) {
+	data := testData(3, 160_000) // k = 160000/16 = 10000 source packets
+	lossRates := []float64{0.10, 0.15, 0.20}
+
+	tb, err := New(Config{
+		Mirrors: 3,
+		Data:    data,
+		Session: ltSessionConfig(),
+		Rate:    100,
+		// Phases nil: rateless sessions get uncoordinated pseudorandom
+		// starts, the deterministic analogue of mirrors booted at
+		// arbitrary times.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if !tb.sess.Rateless() {
+		t.Fatal("session should be rateless")
+	}
+	for i, m := range tb.Mirrors {
+		t.Logf("mirror %d advertises stream start %d", i, m.Info.Phase)
+	}
+
+	r, err := tb.AddReceiver(0, func(mirror, layer int) netsim.LossProcess {
+		return &netsim.Bernoulli{P: lossRates[mirror], Rng: netsim.ReceiverRNG(41, mirror)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(30_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Done() {
+		t.Fatal("receiver never decoded")
+	}
+	got, err := r.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reconstructed file differs")
+	}
+
+	total, distinct, k := r.Engine.Stats()
+	overhead := float64(total) / float64(k)
+	dups := 0
+	for _, src := range r.Engine.Sources() {
+		st := r.Engine.SourceStats(src)
+		dups += st.Duplicate
+		t.Logf("mirror %d: recv=%d distinct=%d dup=%d loss=%.1f%%",
+			src, st.Received, st.Distinct, st.Duplicate, 100*st.Loss)
+	}
+	dupRate := float64(dups) / float64(total)
+	t.Logf("k=%d total=%d distinct=%d overhead=%.4f dupRate=%.4f%% rounds=%d",
+		k, total, distinct, overhead, 100*dupRate, r.RoundsToDecode())
+	if overhead > 1.15 {
+		t.Fatalf("reception overhead %.4f exceeds 1.15", overhead)
+	}
+	if dupRate >= 0.02 {
+		t.Fatalf("duplicate rate %.4f%% not below 2%%", 100*dupRate)
+	}
+}
+
+// TestLTLayeredMirrors runs the same fountain over the 4-layer schedule to
+// cover the layered rateless carousel (slot counts 1,1,2,4 per round,
+// monotone indices split across groups) through the full service →
+// transport → multi-source client path.
+func TestLTLayeredMirrors(t *testing.T) {
+	cfg := ltSessionConfig()
+	cfg.Layers = 4
+	cfg.Session = 0x17E0
+	data := testData(9, 48_000) // k = 3000
+
+	tb, err := New(Config{Mirrors: 3, Data: data, Session: cfg, Rate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	r, err := tb.AddReceiver(3, func(mirror, layer int) netsim.LossProcess {
+		return &netsim.Bernoulli{P: 0.12, Rng: netsim.ReceiverRNG(55, mirror*8+layer)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(30_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Done() {
+		t.Fatal("receiver never decoded")
+	}
+	got, err := r.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reconstructed file differs")
+	}
+	total, _, k := r.Engine.Stats()
+	dups := 0
+	for _, src := range r.Engine.Sources() {
+		dups += r.Engine.SourceStats(src).Duplicate
+	}
+	t.Logf("layered: k=%d total=%d overhead=%.4f dups=%d", k, total, float64(total)/float64(k), dups)
+	if float64(dups)/float64(total) >= 0.02 {
+		t.Fatalf("duplicate rate %.4f not below 2%%", float64(dups)/float64(total))
+	}
+}

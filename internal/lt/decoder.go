@@ -1,0 +1,269 @@
+// LT decoding: belief-propagation peeling with lazy XOR release, plus an
+// inactivation-style GF(2) elimination fallback (reusing internal/bitmat)
+// so a stalled ripple does not cost tens of percent of extra reception —
+// decoding completes near the rank bound, k plus a handful of packets.
+package lt
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/code"
+	"repro/internal/gf"
+)
+
+// pkt is one buffered coded packet. data holds the raw payload as received;
+// resolved neighbors are NOT substituted into it eagerly — the XOR work is
+// deferred until the packet is released (its unresolved count reaches one),
+// so each payload is touched O(degree) times total instead of once per
+// neighbor resolution order permutation.
+type pkt struct {
+	index     uint32
+	data      []byte
+	remaining int32 // unresolved neighbors; 0 = retired (consumed or redundant)
+}
+
+type decoder struct {
+	c *Codec
+
+	values   [][]byte // per source symbol; nil while unresolved
+	resolved int
+	waiters  [][]int32 // symbol -> ids of buffered packets covering it
+	pkts     []pkt
+	seen     map[uint32]struct{} // distinct accepted indices
+	relq     []int32             // packet ids whose remaining just hit 1
+	active   int                 // buffered packets with remaining > 0
+
+	// Elimination gating: after a failed fallback at rank r with u
+	// unresolved symbols, at least u-r more independent equations are
+	// needed; needMore counts arrivals down so the cubic elimination is
+	// not retried on every packet.
+	needMore int
+
+	nbuf []int // shared neighbor scratch
+	done bool
+}
+
+// NewDecoder implements code.Codec.
+func (c *Codec) NewDecoder() code.Decoder {
+	return &decoder{
+		c:       c,
+		values:  make([][]byte, c.k),
+		waiters: make([][]int32, c.k),
+		seen:    make(map[uint32]struct{}, c.k+c.k/8),
+	}
+}
+
+// Add implements code.Decoder.
+func (d *decoder) Add(i int, data []byte) (bool, error) {
+	if err := code.CheckPacket(i, data, code.UnboundedN, d.c.packetLen); err != nil {
+		return d.done, err
+	}
+	if d.done {
+		return true, nil
+	}
+	index := uint32(i)
+	if _, dup := d.seen[index]; dup {
+		return false, nil
+	}
+	d.seen[index] = struct{}{}
+	d.nbuf = d.c.NeighborsInto(index, d.nbuf)
+	unresolved := 0
+	last := -1
+	for _, nb := range d.nbuf {
+		if d.values[nb] == nil {
+			unresolved++
+			last = nb
+		}
+	}
+	switch unresolved {
+	case 0:
+		// Redundant at arrival: every neighbor already known. It adds no
+		// equation, so it must not count against a pending elimination
+		// deficit either.
+	case 1:
+		// Immediately releasable: XOR the resolved neighbors out and the
+		// remaining symbol's value is exposed.
+		val := make([]byte, len(data))
+		copy(val, data)
+		for _, nb := range d.nbuf {
+			if v := d.values[nb]; v != nil {
+				gf.XORSlice(val, v)
+			}
+		}
+		d.resolve(last, val)
+		d.drainRipple()
+	default:
+		id := int32(len(d.pkts))
+		buf := make([]byte, len(data))
+		copy(buf, data)
+		d.pkts = append(d.pkts, pkt{index: index, data: buf, remaining: int32(unresolved)})
+		d.active++
+		for _, nb := range d.nbuf {
+			if d.values[nb] == nil {
+				d.waiters[nb] = append(d.waiters[nb], id)
+			}
+		}
+	}
+	if unresolved > 0 && d.needMore > 0 {
+		// Only packets that contributed an equation (a new row or a direct
+		// resolution) pay down a failed elimination's rank deficit.
+		d.needMore--
+	}
+	if !d.done {
+		d.tryEliminate()
+	}
+	return d.done, nil
+}
+
+// resolve records symbol s's value and decrements the unresolved count of
+// every buffered packet covering it; packets reaching count one join the
+// release queue (the ripple).
+func (d *decoder) resolve(s int, val []byte) {
+	d.values[s] = val
+	d.resolved++
+	if d.resolved == d.c.k {
+		d.finish()
+		return
+	}
+	for _, id := range d.waiters[s] {
+		p := &d.pkts[id]
+		if p.remaining > 0 {
+			p.remaining--
+			switch p.remaining {
+			case 1:
+				d.relq = append(d.relq, id)
+			case 0:
+				// Was already queued for release with this as its last
+				// unresolved symbol; now fully covered, hence redundant.
+				p.data = nil
+				d.active--
+			}
+		}
+	}
+	d.waiters[s] = nil
+}
+
+// drainRipple releases queued packets until the ripple is empty or the
+// decode completes. Releasing a packet performs its whole deferred XOR at
+// once: the raw payload combined with every resolved neighbor value yields
+// the one still-unresolved neighbor.
+func (d *decoder) drainRipple() {
+	for len(d.relq) > 0 && !d.done {
+		id := d.relq[len(d.relq)-1]
+		d.relq = d.relq[:len(d.relq)-1]
+		p := &d.pkts[id]
+		if p.remaining != 1 {
+			continue // raced to 0: became redundant while queued
+		}
+		d.nbuf = d.c.NeighborsInto(p.index, d.nbuf)
+		val := p.data
+		target := -1
+		for _, nb := range d.nbuf {
+			if v := d.values[nb]; v != nil {
+				gf.XORSlice(val, v)
+			} else {
+				target = nb
+			}
+		}
+		p.remaining = 0
+		p.data = nil
+		d.active--
+		if target >= 0 {
+			d.resolve(target, val)
+		}
+	}
+}
+
+// elimMax bounds the size of the residual system the inactivation fallback
+// will solve: elimination is cubic in the unresolved-symbol count, so the
+// decoder waits for peeling to shrink the residual below ~k/8 before paying
+// it. Peeling alone closes most of the gap once reception passes k — the
+// fallback only finishes the tail the ripple would otherwise stall on.
+func (d *decoder) elimMax() int {
+	if m := d.c.k / 8; m > 768 {
+		return m
+	}
+	return 768
+}
+
+// tryEliminate runs the inactivation fallback when the ripple has dried up:
+// the residual system — one GF(2) row per still-buffered packet over the
+// unresolved symbols — is solved directly once it has at least as many
+// equations as unknowns and is small enough (elimMax). On failure the rank
+// deficit gates the next attempt, so the cubic cost is paid O(1) times per
+// decode, not per packet.
+func (d *decoder) tryEliminate() {
+	cols := d.c.k - d.resolved
+	rows := d.active
+	if cols == 0 || cols > d.elimMax() || d.needMore > 0 || rows < cols {
+		return
+	}
+	colOf := make(map[int]int, cols)
+	syms := make([]int, 0, cols)
+	for s := 0; s < d.c.k; s++ {
+		if d.values[s] == nil {
+			colOf[s] = len(syms)
+			syms = append(syms, s)
+		}
+	}
+	m := bitmat.New(rows, cols)
+	rhs := make([][]byte, rows)
+	store := make([]byte, rows*d.c.packetLen)
+	r := 0
+	for i := range d.pkts {
+		p := &d.pkts[i]
+		if p.remaining == 0 {
+			continue
+		}
+		buf := store[r*d.c.packetLen : (r+1)*d.c.packetLen]
+		copy(buf, p.data)
+		d.nbuf = d.c.NeighborsInto(p.index, d.nbuf)
+		for _, nb := range d.nbuf {
+			if v := d.values[nb]; v != nil {
+				gf.XORSlice(buf, v)
+			} else {
+				m.Set(r, colOf[nb], true)
+			}
+		}
+		rhs[r] = buf
+		r++
+	}
+	sol, rank, ok := bitmat.TrySolve(m, rhs)
+	if !ok {
+		d.needMore = cols - rank
+		return
+	}
+	for ci, s := range syms {
+		d.values[s] = sol[ci]
+	}
+	d.resolved = d.c.k
+	d.finish()
+}
+
+// finish releases the buffered packets and marks the decode complete.
+func (d *decoder) finish() {
+	d.done = true
+	d.pkts = nil
+	d.relq = nil
+	d.waiters = nil
+}
+
+// Done implements code.Decoder.
+func (d *decoder) Done() bool { return d.done }
+
+// Received implements code.Decoder: distinct accepted packets.
+func (d *decoder) Received() int { return len(d.seen) }
+
+// Source implements code.Decoder.
+func (d *decoder) Source() ([][]byte, error) {
+	if !d.done {
+		return nil, code.ErrNotReady
+	}
+	for s, v := range d.values {
+		if v == nil {
+			return nil, fmt.Errorf("lt: symbol %d unresolved after completion", s)
+		}
+	}
+	return d.values, nil
+}

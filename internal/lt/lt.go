@@ -1,0 +1,266 @@
+// Package lt implements a Luby Transform code: the rateless realization of
+// the paper's ideal digital fountain (§3, §9). Where the repository's
+// fixed-rate codecs stretch k source packets into n = 2k encoding packets
+// and force the carousel to cycle, an LT encoder draws encoding packets
+// from an effectively unlimited index space — packet i's degree and
+// neighbor set are a pure function of (session seed, i), so any sender that
+// knows the seed can produce packet i independently, and any k(1+ε)
+// distinct packets reconstruct the source.
+//
+// The degree distribution is the robust soliton ("Primer and Recent
+// Developments on Fountain Codes", Qureshi et al.): the ideal soliton
+// ρ(1) = 1/k, ρ(d) = 1/(d(d-1)) keeps the expected ripple at one symbol per
+// recovery, and the correction τ concentrates extra mass on degree 1..D
+// (D ≈ k/R, R = c·ln(k/δ)·√k) so the ripple survives variance and the
+// decoder fails with probability at most δ after k + O(√k·ln²(k/δ))
+// packets. Tunables c and δ trade average degree against ripple robustness.
+//
+// Decoding is belief-propagation peeling with lazy XOR release (see
+// decoder.go), backed by an inactivation-style GF(2) elimination fallback
+// so reception overhead stays near the rank bound instead of stalling on an
+// empty ripple.
+package lt
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/code"
+	"repro/internal/gf"
+)
+
+// Default degree-distribution parameters: a moderate spike (c) and failure
+// target (δ) that keep the average degree near ln(k) while leaving the
+// peeling decoder a comfortable ripple at k in the thousands.
+const (
+	DefaultC     = 0.05
+	DefaultDelta = 0.5
+)
+
+// Codec is a rateless LT code over fixed-size packets. It is immutable
+// after construction and safe for concurrent use; the degree CDF is built
+// once and shared by every encoder and decoder of the session.
+type Codec struct {
+	k         int
+	packetLen int
+	seed      int64
+	c         float64
+	delta     float64
+	cdf       []float64 // cdf[d-1] = P(degree <= d), d = 1..k
+}
+
+// New constructs the codec for k source packets of packetLen bytes. The
+// seed is the advance agreement between sender and receivers (§5.1): both
+// sides derive every packet's degree and neighbor set from it. c <= 0 or
+// delta outside (0,1) select the defaults.
+func New(k, packetLen int, seed int64, c, delta float64) (*Codec, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("lt: invalid k=%d", k)
+	}
+	if packetLen <= 0 {
+		return nil, fmt.Errorf("lt: invalid packetLen=%d", packetLen)
+	}
+	if c <= 0 {
+		c = DefaultC
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = DefaultDelta
+	}
+	lc := &Codec{k: k, packetLen: packetLen, seed: seed, c: c, delta: delta}
+	lc.cdf = robustSolitonCDF(k, c, delta)
+	return lc, nil
+}
+
+// robustSolitonCDF builds the cumulative robust soliton distribution
+// μ(d) = (ρ(d) + τ(d)) / β over degrees 1..k.
+func robustSolitonCDF(k int, c, delta float64) []float64 {
+	fk := float64(k)
+	pdf := make([]float64, k+1) // pdf[d], d = 1..k
+	pdf[1] = 1 / fk
+	for d := 2; d <= k; d++ {
+		pdf[d] = 1 / (float64(d) * float64(d-1))
+	}
+	// τ: R/(d·k) for d < D, R·ln(R/δ)/k at the spike D = round(k/R). For
+	// tiny k the spike can collapse onto degree 1 or exceed k; the clamps
+	// degrade gracefully to the ideal soliton.
+	R := c * math.Log(fk/delta) * math.Sqrt(fk)
+	if R > 1 {
+		D := int(math.Round(fk / R))
+		if D < 1 {
+			D = 1
+		}
+		if D > k {
+			D = k
+		}
+		for d := 1; d < D; d++ {
+			pdf[d] += R / (float64(d) * fk)
+		}
+		pdf[D] += R * math.Log(R/delta) / fk
+	}
+	cdf := make([]float64, k)
+	sum := 0.0
+	for d := 1; d <= k; d++ {
+		sum += pdf[d]
+		cdf[d-1] = sum
+	}
+	// Normalize by β = Σ(ρ+τ) and pin the tail so a draw of u → 1 can
+	// never fall off the table.
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[k-1] = 1
+	return cdf
+}
+
+// Name implements code.Codec.
+func (c *Codec) Name() string { return "lt" }
+
+// K implements code.Codec.
+func (c *Codec) K() int { return c.k }
+
+// N implements code.Codec: the encoding is unbounded; every index below
+// the code.UnboundedN sentinel is a valid encoding packet.
+func (c *Codec) N() int { return code.UnboundedN }
+
+// PacketLen implements code.Codec.
+func (c *Codec) PacketLen() int { return c.packetLen }
+
+// Params returns the degree-distribution tunables (c, δ) in effect.
+func (c *Codec) Params() (cc, delta float64) { return c.c, c.delta }
+
+// Seed returns the session seed the packet streams derive from.
+func (c *Codec) Seed() int64 { return c.seed }
+
+// RatelessCode implements code.Rateless.
+func (c *Codec) RatelessCode() {}
+
+// ErrUnbounded is returned by Encode: a rateless code has no finite "full
+// encoding" to materialize.
+var ErrUnbounded = errors.New("lt: rateless codec has no finite encoding; use EncodeRange")
+
+// Encode implements code.Codec by failing: callers must use EncodeRange
+// (core sessions detect the Rateless capability and never call Encode).
+func (c *Codec) Encode(src [][]byte) ([][]byte, error) { return nil, ErrUnbounded }
+
+// prng is a splitmix64 stream. Packet index i's stream is seeded by mixing
+// the session seed with i, so every encoding packet is an independent,
+// reproducible draw — the property that lets unstaggered mirrors emit
+// disjoint useful packets with no coordination beyond distinct indices.
+type prng struct{ state uint64 }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// float64 in [0, 1).
+func (p *prng) uniform() float64 { return float64(p.next()>>11) / (1 << 53) }
+
+// stream returns packet index i's PRNG, decorrelated from neighboring
+// indices by one full mix round over (seed, index).
+func (c *Codec) stream(index uint32) prng {
+	p := prng{state: uint64(c.seed) ^ (uint64(index)+1)*0xBF58476D1CE4E5B9}
+	p.state = p.next()
+	return p
+}
+
+// degree samples the robust soliton distribution with the stream's next
+// draw: binary search for the first CDF entry covering u.
+func (c *Codec) degree(p *prng) int {
+	u := p.uniform()
+	return sort.SearchFloat64s(c.cdf, u) + 1
+}
+
+// Degree returns encoding packet index's degree — deterministic, in
+// [1, k].
+func (c *Codec) Degree(index uint32) int {
+	p := c.stream(index)
+	d := c.degree(&p)
+	if d > c.k {
+		d = c.k // unreachable (cdf tail is pinned); belt and braces
+	}
+	return d
+}
+
+// NeighborsInto writes encoding packet index's neighbor set — the source
+// packets XORed into it — into buf (reused if capacity allows) and returns
+// it. The set is deterministic in (seed, index, k), duplicate-free, and
+// every entry is in [0, k).
+func (c *Codec) NeighborsInto(index uint32, buf []int) []int {
+	p := c.stream(index)
+	d := c.degree(&p)
+	buf = buf[:0]
+	if d >= c.k {
+		// Full-degree packet: enumerate rather than reject (coupon-collector
+		// rejection at d = k would cost k·ln k draws).
+		for i := 0; i < c.k; i++ {
+			buf = append(buf, i)
+		}
+		return buf
+	}
+	// Rejection sampling keeps the draw sequence identical regardless of
+	// how duplicates are detected: a linear scan for the common small
+	// degrees, a set once quadratic scanning would bite.
+	var dup map[int]struct{}
+	if d > 32 {
+		dup = make(map[int]struct{}, d)
+	}
+	for len(buf) < d {
+		cand := int(p.next() % uint64(c.k))
+		if dup != nil {
+			if _, seen := dup[cand]; seen {
+				continue
+			}
+			dup[cand] = struct{}{}
+		} else {
+			seen := false
+			for _, b := range buf {
+				if b == cand {
+					seen = true
+					break
+				}
+			}
+			if seen {
+				continue
+			}
+		}
+		buf = append(buf, cand)
+	}
+	return buf
+}
+
+// EncodeRange implements code.RangeEncoder: encoding packets [lo, hi), each
+// freshly allocated (an LT code is not systematic — every output is a coded
+// combination, so nothing aliases src).
+func (c *Codec) EncodeRange(src [][]byte, lo, hi int) ([][]byte, error) {
+	if err := code.CheckSrc(src, c.k, c.packetLen); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi < lo || hi > code.UnboundedN {
+		return nil, fmt.Errorf("lt: encode range [%d,%d) out of [0,%d)", lo, hi, code.UnboundedN)
+	}
+	out := make([][]byte, hi-lo)
+	store := make([]byte, (hi-lo)*c.packetLen)
+	var nbuf []int
+	for i := lo; i < hi; i++ {
+		p := store[(i-lo)*c.packetLen : (i-lo+1)*c.packetLen]
+		nbuf = c.NeighborsInto(uint32(i), nbuf)
+		for _, nb := range nbuf {
+			gf.XORSlice(p, src[nb])
+		}
+		out[i-lo] = p
+	}
+	return out, nil
+}
+
+// Interface conformance.
+var (
+	_ code.Codec        = (*Codec)(nil)
+	_ code.RangeEncoder = (*Codec)(nil)
+	_ code.Rateless     = (*Codec)(nil)
+)

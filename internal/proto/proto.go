@@ -89,8 +89,15 @@ type SessionInfo struct {
 	// at. Mirrors sharing a seed advertise staggered phases (§8: "each
 	// source cycles through the data at a different point") so a receiver
 	// harvesting from several of them sees mostly-disjoint prefixes and
-	// accumulates few early duplicates.
+	// accumulates few early duplicates. Rateless sessions reuse the field
+	// as the sender's arbitrary stream start — informational only, since
+	// the unbounded index space makes coordination unnecessary.
 	Phase uint32
+	// LTCMicro / LTDeltaMicro carry the robust-soliton parameters of a
+	// CodecLT session in millionths (c, δ quantized so both sides of the
+	// wire derive the identical degree distribution). Zero otherwise.
+	LTCMicro     uint32
+	LTDeltaMicro uint32
 }
 
 // Codec identifiers carried in SessionInfo.
@@ -100,6 +107,10 @@ const (
 	CodecVandermonde
 	CodecCauchy
 	CodecInterleaved
+	// CodecLT is the rateless Luby Transform code: N is the unbounded
+	// sentinel (code.UnboundedN, 2^31-1) and the carousel streams fresh
+	// indices forever instead of cycling.
+	CodecLT
 )
 
 // Control message types.
@@ -113,7 +124,7 @@ const (
 	controlMag1         = 0x98 // 1998
 )
 
-const sessionInfoLen = 2 + 2 + 1 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 8 + 4 + 4 // magic+type .. phase
+const sessionInfoLen = 2 + 2 + 1 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 8 + 4 + 4 + 4 + 4 // magic+type .. lt params
 
 // MarshalHello encodes a client hello probe. A bare hello asks for "the"
 // session — a multi-session service answers with its lowest session id (or
@@ -253,6 +264,10 @@ func (s SessionInfo) Marshal() []byte {
 	b = append(b, tmp[:4]...)
 	binary.BigEndian.PutUint32(tmp[:4], s.Phase)
 	b = append(b, tmp[:4]...)
+	binary.BigEndian.PutUint32(tmp[:4], s.LTCMicro)
+	b = append(b, tmp[:4]...)
+	binary.BigEndian.PutUint32(tmp[:4], s.LTDeltaMicro)
+	b = append(b, tmp[:4]...)
 	return b
 }
 
@@ -279,6 +294,8 @@ func ParseSessionInfo(buf []byte) (SessionInfo, error) {
 	}
 	s.InterleaveK = binary.BigEndian.Uint32(buf[51:55])
 	s.Phase = binary.BigEndian.Uint32(buf[55:59])
+	s.LTCMicro = binary.BigEndian.Uint32(buf[59:63])
+	s.LTDeltaMicro = binary.BigEndian.Uint32(buf[63:67])
 	return s, nil
 }
 

@@ -78,14 +78,15 @@ func (e *Engine) Run(ctx context.Context, baseRate int) error {
 // PaceInterval returns the inter-round interval that makes the session's
 // base layer emit approximately baseRate packets per second. In layered
 // mode layer 0 sends one slot per reverse-binary block per round; the
-// single-layer carousel sends exactly one packet per round. baseRate <= 0
-// defaults to 512.
+// single-layer carousel sends exactly one packet per round, as does the
+// base layer of a rateless session (whose unbounded "encoding" has no
+// blocks to multiply by). baseRate <= 0 defaults to 512.
 func PaceInterval(sess *core.Session, baseRate int) time.Duration {
 	if baseRate <= 0 {
 		baseRate = 512
 	}
 	perRound := 1 // single-layer randomized carousel: one packet per round
-	if g := sess.Config().Layers; g > 1 {
+	if g := sess.Config().Layers; g > 1 && !sess.Rateless() {
 		n := sess.Codec().N()
 		blockSize := 1 << uint(g-1)
 		perRound = (n + blockSize - 1) / blockSize // one slot per block per round
