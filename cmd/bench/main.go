@@ -7,7 +7,13 @@
 //
 // Usage:
 //
-//	go run ./cmd/bench [-o BENCH_codecs.json] [-k 512] [-pl 1024]
+//	go run ./cmd/bench [-suite codecs] [-o BENCH_codecs.json] [-k 512] [-pl 1024]
+//	go run ./cmd/bench -suite sender [-o BENCH_sender.json]
+//
+// The sender suite benchmarks the service's aggregate emission throughput
+// at 1/16/256 concurrent sessions — shared pacing scheduler vs the
+// goroutine-per-session baseline — and fails when steady-state emission
+// allocates (see sender.go).
 package main
 
 import (
@@ -55,10 +61,31 @@ type report struct {
 }
 
 func main() {
-	out := flag.String("o", "BENCH_codecs.json", "output JSON path ('-' for stdout)")
-	k := flag.Int("k", 512, "source packets per block")
-	pl := flag.Int("pl", 1024, "packet length in bytes")
+	suite := flag.String("suite", "codecs", "benchmark suite: codecs|sender")
+	out := flag.String("o", "", "output JSON path ('-' for stdout; default BENCH_<suite>.json)")
+	k := flag.Int("k", 512, "source packets per block (codecs suite only)")
+	pl := flag.Int("pl", 1024, "packet length in bytes (sender suite default: 500)")
 	flag.Parse()
+
+	switch *suite {
+	case "sender":
+		if *out == "" {
+			*out = "BENCH_sender.json"
+		}
+		spl := *pl
+		if !flagWasSet("pl") {
+			spl = 500 // the paper prototype's payload, the suite's reference point
+		}
+		runSenderSuite(*out, spl)
+		return
+	case "codecs":
+		if *out == "" {
+			*out = "BENCH_codecs.json"
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (codecs|sender)\n", *suite)
+		os.Exit(1)
+	}
 
 	kk, ppl := *k, *pl
 	codecs := []struct {
@@ -177,6 +204,17 @@ func main() {
 			r.Name, r.Op, r.K, r.NsPerOp, r.MBPerSec, r.BytesPerOp, r.AllocsPerOp, ov)
 	}
 	fmt.Printf("wrote %s\n", *out)
+}
+
+// flagWasSet reports whether the named flag was given on the command line.
+func flagWasSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
 }
 
 // fixedOverhead measures a fixed-rate codec's reception overhead (packets

@@ -118,8 +118,8 @@ func main() {
 		log.Fatal(err)
 	}
 	defer stopCtrl()
-	fmt.Printf("fountain-server: %d sessions data=%s control=%s layers=%d rate=%d\n",
-		len(files), udp.Addr(), ctrl, *layers, *rate)
+	fmt.Printf("fountain-server: %d sessions data=%s control=%s layers=%d rate=%d sched-shards=%d\n",
+		len(files), udp.Addr(), ctrl, *layers, *rate, svc.Stats().Shards)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -203,6 +203,22 @@ func NewMultiSourceClient(info SessionInfo, sources, startLevel int, setLevel fu
 	return client.NewMultiSource(info, sources, startLevel, setLevel)
 }
 
+// PacketSender is the minimal transmit side of a transport: one packet
+// per call. Any struct with Send(layer, pkt) works as a service transport.
+type PacketSender = transport.PacketSender
+
+// Sender is the unified transmit side of a transport: per-packet Send
+// plus per-layer SendBatch. Bus and UDPServer implement it natively; the
+// service's pacing scheduler emits whole carousel rounds through it as
+// per-layer batches built in pooled buffers (zero-copy, zero-alloc).
+// Packet buffers may be reused once Send/SendBatch returns, so receivers
+// must copy anything they keep.
+type Sender = transport.Sender
+
+// AsSender upgrades a PacketSender with a portable SendBatch fallback
+// loop (batch-capable senders pass through untouched).
+func AsSender(s PacketSender) Sender { return transport.AsSender(s) }
+
 // Bus is the in-process lossy multicast transport (deterministic, virtual
 // time — used by the simulations and examples).
 type Bus = transport.Bus
@@ -252,19 +268,23 @@ func NewMultiClient(servers []*net.UDPAddr, session uint16, level int) (*MultiCl
 const SessionAny = transport.SessionAny
 
 // Service is the multi-session fountain server core: a registry of
-// concurrent sessions over one transport, each driven by its own paced
-// sender goroutine, with a shared bounded lazy-encoding cache, catalog
-// discovery, and basic counters.
+// concurrent sessions over one transport, all driven by one shared pacing
+// scheduler (a deadline heap per shard worker — no per-session
+// goroutines), emitting through pooled buffers and per-layer batches,
+// with a shared bounded lazy-encoding cache, catalog discovery, and basic
+// counters.
 type Service = service.Service
 
-// ServiceConfig tunes a Service (cache budget, default rate).
+// ServiceConfig tunes a Service (cache budget, default rate, scheduler
+// shard count).
 type ServiceConfig = service.Config
 
 // ServiceStats is a snapshot of a Service's counters.
 type ServiceStats = service.Stats
 
-// NewService creates a service transmitting on tx. Add sessions with
-// Service.AddData / Service.Add (Service.AddPhased to stagger a mirror's
-// carousel); serve discovery by wiring Service.HandleControl to a control
-// socket.
-func NewService(tx server.Sender, cfg ServiceConfig) *Service { return service.New(tx, cfg) }
+// NewService creates a service transmitting on tx — any PacketSender
+// works; batch-capable transports (Bus, UDPServer) receive whole
+// per-layer batches per call. Add sessions with Service.AddData /
+// Service.Add (Service.AddPhased to stagger a mirror's carousel); serve
+// discovery by wiring Service.HandleControl to a control socket.
+func NewService(tx PacketSender, cfg ServiceConfig) *Service { return service.New(tx, cfg) }

@@ -17,6 +17,7 @@ type Carousel struct {
 	phase   int
 	round   int
 	sent    int
+	idxBuf  []int // per-round index scratch, reused so emission is alloc-free
 }
 
 // NewCarousel starts a fresh carousel over the session (round 0, all
@@ -58,17 +59,49 @@ func (c *Carousel) Rounds() int { return c.round - c.phase }
 // Sent returns the total number of packets emitted so far.
 func (c *Carousel) Sent() int { return c.sent }
 
+// RoundEmitter receives one round's packets from NextRoundTo. PacketBuf
+// supplies the buffer each packet is built into (length 0, capacity at
+// least size — pooled senders hand out reusable buffers, so steady-state
+// emission allocates nothing); Emit receives the filled packet, in
+// schedule order, layer by layer. A packet handed to Emit aliases the
+// PacketBuf buffer that preceded it.
+type RoundEmitter interface {
+	PacketBuf(size int) []byte
+	Emit(layer int, pkt []byte) error
+}
+
+// funcEmitter adapts a plain emit callback to RoundEmitter, preserving
+// NextRound's historical behavior: every packet in a fresh allocation.
+type funcEmitter struct {
+	emit func(layer int, pkt []byte) error
+}
+
+func (f *funcEmitter) PacketBuf(size int) []byte { return make([]byte, 0, size) }
+
+func (f *funcEmitter) Emit(layer int, pkt []byte) error { return f.emit(layer, pkt) }
+
 // NextRound emits one full round across all layers and advances the round
-// counter. The first packet of an SP round carries the SP flag; packets of
-// a burst round carry the burst flag (the doubled instantaneous rate of
-// §7.1.1 is applied by the caller's pacing, not by duplicating content).
-// Emission stops at the first emit error, which is returned.
+// counter, handing each packet to emit in a freshly allocated buffer. The
+// first packet of an SP round carries the SP flag; packets of a burst
+// round carry the burst flag (the doubled instantaneous rate of §7.1.1 is
+// applied by the caller's pacing, not by duplicating content). Emission
+// stops at the first emit error, which is returned.
 func (c *Carousel) NextRound(emit func(layer int, pkt []byte) error) error {
+	fe := funcEmitter{emit: emit}
+	return c.NextRoundTo(&fe)
+}
+
+// NextRoundTo is NextRound over a RoundEmitter: packets are built in
+// emitter-supplied buffers, so a pooled emitter makes steady-state
+// emission allocation-free. Packet bytes and emission order are identical
+// to NextRound's — the emitter only changes where the bytes live.
+func (c *Carousel) NextRoundTo(em RoundEmitter) error {
 	round := c.round
 	c.round++
 	layers := c.sess.Config().Layers
+	size := c.sess.WireLen()
 	for layer := 0; layer < layers; layer++ {
-		idxs := c.sess.CarouselIndices(layer, round)
+		c.idxBuf = c.sess.AppendCarouselIndices(c.idxBuf[:0], layer, round)
 		var flags uint8
 		if c.sess.IsSP(layer, round) {
 			flags |= proto.FlagSP
@@ -76,14 +109,14 @@ func (c *Carousel) NextRound(emit func(layer int, pkt []byte) error) error {
 		if c.sess.BurstRound(layer, round) {
 			flags |= proto.FlagBurst
 		}
-		for pi, idx := range idxs {
+		for pi, idx := range c.idxBuf {
 			f := flags
 			if pi > 0 {
 				f &^= proto.FlagSP // SP marks only the round's first packet
 			}
 			c.serials[layer]++
-			pkt := c.sess.Packet(idx, uint8(layer), c.serials[layer], f)
-			if err := emit(layer, pkt); err != nil {
+			pkt := c.sess.AppendPacket(em.PacketBuf(size), idx, uint8(layer), c.serials[layer], f)
+			if err := em.Emit(layer, pkt); err != nil {
 				return err
 			}
 			c.sent++

@@ -376,8 +376,17 @@ func (s *Session) Info() proto.SessionInfo {
 }
 
 // Packet returns the wire form (header + payload) of encoding packet idx
-// for the given layer/serial/flags.
+// for the given layer/serial/flags, in a freshly allocated buffer.
 func (s *Session) Packet(idx int, layer uint8, serial uint32, flags uint8) []byte {
+	return s.AppendPacket(make([]byte, 0, s.WireLen()), idx, layer, serial, flags)
+}
+
+// AppendPacket appends the wire form (header + payload) of encoding packet
+// idx to dst and returns the extended slice — the zero-copy form of Packet
+// for senders that build packets in pooled buffers. With cap(dst) >=
+// WireLen() and an eagerly encoded (or cache-resident) payload, the call
+// allocates nothing.
+func (s *Session) AppendPacket(dst []byte, idx int, layer uint8, serial uint32, flags uint8) []byte {
 	h := proto.Header{
 		Index:   uint32(idx),
 		Serial:  serial,
@@ -385,10 +394,14 @@ func (s *Session) Packet(idx int, layer uint8, serial uint32, flags uint8) []byt
 		Flags:   flags,
 		Session: s.cfg.Session,
 	}
-	payload := s.Payload(idx)
-	out := h.Marshal(make([]byte, 0, proto.HeaderLen+len(payload)))
-	return append(out, payload...)
+	dst = h.Marshal(dst)
+	return append(dst, s.Payload(idx)...)
 }
+
+// WireLen returns the on-the-wire size of every packet of the session:
+// the 12-byte header plus the (padded) payload length. Senders size their
+// packet buffers with it.
+func (s *Session) WireLen() int { return proto.HeaderLen + s.cfg.PacketLen }
 
 // CarouselIndices returns the encoding indices transmitted on `layer`
 // during `round`. In single-layer mode this walks the seeded random
@@ -404,9 +417,16 @@ func (s *Session) Packet(idx int, layer uint8, serial uint32, flags uint8) []byt
 // holds trivially, and mirrors starting at different rounds draw from
 // disjoint index regions without any cycle arithmetic.
 func (s *Session) CarouselIndices(layer, round int) []int {
+	return s.AppendCarouselIndices(nil, layer, round)
+}
+
+// AppendCarouselIndices is the allocation-free form of CarouselIndices:
+// the indices are appended to dst, so a carousel can walk the schedule
+// through one reused scratch slice.
+func (s *Session) AppendCarouselIndices(dst []int, layer, round int) []int {
 	if s.rateless {
 		if s.cfg.Layers == 1 {
-			return []int{ratelessIndex(uint64(round))}
+			return append(dst, ratelessIndex(uint64(round)))
 		}
 		per := s.sched.SlotsPerRound(layer)
 		off := 0
@@ -417,19 +437,17 @@ func (s *Session) CarouselIndices(layer, round int) []int {
 		// The slot counts sum to the block size 2^(g-1) = indices per
 		// round.
 		base := uint64(round)*uint64(s.sched.BlockSize()) + uint64(off)
-		out := make([]int, per)
-		for i := range out {
-			out[i] = ratelessIndex(base + uint64(i))
+		for i := 0; i < per; i++ {
+			dst = append(dst, ratelessIndex(base+uint64(i)))
 		}
-		return out
+		return dst
 	}
 	n := s.codec.N()
 	if s.cfg.Layers == 1 {
 		i := round % n
-		return []int{s.perm[i]}
+		return append(dst, s.perm[i])
 	}
-	idxs := s.sched.PacketIndices(layer, round, n)
-	return idxs
+	return s.sched.AppendPacketIndices(dst, layer, round, n)
 }
 
 // ratelessIndex folds an unbounded stream position into the valid index

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/proto"
+)
+
+// poolEmitter is a minimal pooled RoundEmitter: one reused buffer per
+// packet slot, so any divergence from fresh-allocation emission (buffer
+// aliasing, stale bytes) surfaces as a packet mismatch.
+type poolEmitter struct {
+	free [][]byte
+	out  []capturedPkt
+}
+
+type capturedPkt struct {
+	layer int
+	data  []byte
+}
+
+func (p *poolEmitter) PacketBuf(size int) []byte {
+	if n := len(p.free); n > 0 {
+		b := p.free[n-1]
+		p.free = p.free[:n-1]
+		if cap(b) >= size {
+			return b[:0]
+		}
+	}
+	return make([]byte, 0, size)
+}
+
+func (p *poolEmitter) Emit(layer int, pkt []byte) error {
+	// Copy out (the pooled buffer is recycled), then recycle.
+	p.out = append(p.out, capturedPkt{layer, append([]byte(nil), pkt...)})
+	p.free = append(p.free, pkt[:0])
+	return nil
+}
+
+// TestNextRoundToMatchesNextRound: for every session shape — layered,
+// single-layer, and rateless — emission through a pooled RoundEmitter must
+// be bit-identical, packet for packet and layer for layer, to the
+// fresh-allocation NextRound path.
+func TestNextRoundToMatchesNextRound(t *testing.T) {
+	data := make([]byte, 40_000)
+	rand.New(rand.NewSource(9)).Read(data)
+	shapes := []struct {
+		name string
+		mod  func(*Config)
+	}{
+		{"layered-tornado", func(c *Config) {}},
+		{"single-layer", func(c *Config) { c.Layers = 1 }},
+		{"rateless-lt", func(c *Config) { c.Codec = proto.CodecLT }},
+		{"rateless-layered", func(c *Config) { c.Codec = proto.CodecLT; c.Layers = 4 }},
+	}
+	for _, shape := range shapes {
+		t.Run(shape.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.SPInterval = 4 // exercise SP and burst flags within the window
+			shape.mod(&cfg)
+			sess, err := NewSession(data, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const phase, rounds = 3, 40
+			ref := NewCarouselAt(sess, phase)
+			var want []capturedPkt
+			for r := 0; r < rounds; r++ {
+				err := ref.NextRound(func(layer int, pkt []byte) error {
+					want = append(want, capturedPkt{layer, pkt})
+					return nil
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+			}
+			pooled := NewCarouselAt(sess, phase)
+			em := &poolEmitter{}
+			for r := 0; r < rounds; r++ {
+				if err := pooled.NextRoundTo(em); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if len(em.out) != len(want) {
+				t.Fatalf("pooled path emitted %d packets, want %d", len(em.out), len(want))
+			}
+			for i := range want {
+				if em.out[i].layer != want[i].layer || !bytes.Equal(em.out[i].data, want[i].data) {
+					t.Fatalf("packet %d diverges (layer %d vs %d)", i, em.out[i].layer, want[i].layer)
+				}
+			}
+			if pooled.Sent() != ref.Sent() || pooled.Round() != ref.Round() {
+				t.Fatalf("carousel counters diverge: sent %d/%d round %d/%d",
+					pooled.Sent(), ref.Sent(), pooled.Round(), ref.Round())
+			}
+		})
+	}
+}
+
+// TestAppendPacketMatchesPacket: the append form over a capacity buffer
+// must produce the same bytes as the allocating form.
+func TestAppendPacketMatchesPacket(t *testing.T) {
+	cfg := DefaultConfig()
+	sess, err := NewSession(bytes.Repeat([]byte{7}, 9_000), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 0, sess.WireLen())
+	for idx := 0; idx < sess.Codec().N(); idx += 5 {
+		want := sess.Packet(idx, 2, uint32(idx+1), proto.FlagSP)
+		got := sess.AppendPacket(buf[:0], idx, 2, uint32(idx+1), proto.FlagSP)
+		if !bytes.Equal(got, want) {
+			t.Fatalf("AppendPacket(%d) diverges from Packet", idx)
+		}
+		if len(want) != sess.WireLen() {
+			t.Fatalf("packet length %d, WireLen %d", len(want), sess.WireLen())
+		}
+	}
+}

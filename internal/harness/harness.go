@@ -155,9 +155,12 @@ func New(cfg Config) (*Testbed, error) {
 		}
 		m := &Mirror{Service: svc, Bus: bus, Carousel: car, Info: info}
 		tb.Mirrors = append(tb.Mirrors, m)
-		emit := svc.Sender()
+		// EmitRound is the scheduler's own pooled, batched emission code:
+		// the harness pumps it on a virtual clock, so every deterministic
+		// scenario test doubles as an oracle that the zero-copy send path
+		// emits bit-identical packets in identical order.
 		tb.pump.Add(0, 1/float64(cfg.Rate), func() error {
-			return m.Carousel.NextRound(emit.Send)
+			return m.Service.EmitRound(m.Carousel)
 		})
 	}
 	return tb, nil

@@ -1,0 +1,112 @@
+package proto
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// randInfo draws an arbitrary descriptor so the differential encoders are
+// exercised across the whole field space, not just handpicked values.
+func randInfo(rng *rand.Rand) SessionInfo {
+	return SessionInfo{
+		Session:      uint16(rng.Uint32()),
+		Codec:        uint8(rng.Intn(6)),
+		Layers:       uint8(1 + rng.Intn(16)),
+		K:            rng.Uint32(),
+		N:            rng.Uint32(),
+		PacketLen:    rng.Uint32(),
+		FileLen:      rng.Uint64(),
+		Seed:         rng.Int63() - rng.Int63(),
+		BaseRate:     rng.Uint32(),
+		SPInterval:   rng.Uint32(),
+		FileHash:     rng.Uint64(),
+		InterleaveK:  rng.Uint32(),
+		Phase:        rng.Uint32(),
+		LTCMicro:     rng.Uint32(),
+		LTDeltaMicro: rng.Uint32(),
+	}
+}
+
+// TestAppendEncodersMatchMarshal: every Append* encoder must produce
+// byte-identical output to its Marshal* counterpart, both onto a nil
+// buffer and appended after existing bytes (the pooled-buffer shape).
+func TestAppendEncodersMatchMarshal(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	prefix := []byte{0xDE, 0xAD, 0xBE, 0xEF}
+	check := func(name string, marshal []byte, appendFn func(dst []byte) []byte) {
+		t.Helper()
+		if got := appendFn(nil); !bytes.Equal(got, marshal) {
+			t.Fatalf("%s: append-to-nil %x != marshal %x", name, got, marshal)
+		}
+		got := appendFn(append([]byte(nil), prefix...))
+		if !bytes.Equal(got[:len(prefix)], prefix) {
+			t.Fatalf("%s: append clobbered the prefix", name)
+		}
+		if !bytes.Equal(got[len(prefix):], marshal) {
+			t.Fatalf("%s: append-after-prefix %x != marshal %x", name, got[len(prefix):], marshal)
+		}
+	}
+
+	check("hello", MarshalHello(), AppendHello)
+	check("catalog-request", MarshalCatalogRequest(), AppendCatalogRequest)
+	for trial := 0; trial < 200; trial++ {
+		id := uint16(rng.Uint32())
+		check("hello-for", MarshalHelloFor(id), func(dst []byte) []byte {
+			return AppendHelloFor(dst, id)
+		})
+		check("nak", MarshalNak(id), func(dst []byte) []byte {
+			return AppendNak(dst, id)
+		})
+		info := randInfo(rng)
+		check("session-info", info.Marshal(), info.Append)
+		infos := make([]SessionInfo, rng.Intn(5))
+		for i := range infos {
+			infos[i] = randInfo(rng)
+		}
+		check("catalog", MarshalCatalog(infos), func(dst []byte) []byte {
+			return AppendCatalog(dst, infos)
+		})
+	}
+}
+
+// TestAppendCatalogTruncates: the append form must apply the same
+// MaxCatalogEntries truncation as the allocating form.
+func TestAppendCatalogTruncates(t *testing.T) {
+	infos := make([]SessionInfo, MaxCatalogEntries+7)
+	for i := range infos {
+		infos[i] = SessionInfo{Session: uint16(i), K: 1, N: 2, PacketLen: 16}
+	}
+	a, m := AppendCatalog(nil, infos), MarshalCatalog(infos)
+	if !bytes.Equal(a, m) {
+		t.Fatalf("truncated catalogs differ: %d vs %d bytes", len(a), len(m))
+	}
+	parsed, err := ParseCatalog(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed) != MaxCatalogEntries {
+		t.Fatalf("parsed %d entries, want %d", len(parsed), MaxCatalogEntries)
+	}
+}
+
+// TestAppendNoAlloc: appending into a buffer with capacity must not
+// allocate — this is the property the zero-copy control path leans on.
+func TestAppendNoAlloc(t *testing.T) {
+	info := SessionInfo{Session: 7, Codec: CodecTornadoA, Layers: 4, K: 100,
+		N: 200, PacketLen: 512, FileLen: 50_000, Seed: 1998, FileHash: 0xAB}
+	buf := make([]byte, 0, 4*sessionInfoLen)
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = info.Append(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("SessionInfo.Append allocates %.1f times per call", allocs)
+	}
+	h := Header{Index: 1, Serial: 2, Group: 3, Session: 4}
+	allocs = testing.AllocsPerRun(100, func() {
+		buf = h.Marshal(buf[:0])
+	})
+	if allocs != 0 {
+		t.Fatalf("Header.Marshal into capacity allocates %.1f times per call", allocs)
+	}
+}

@@ -62,6 +62,9 @@ func FuzzParseControl(f *testing.F) {
 			if !bytes.Equal(s.Marshal(), buf[:sessionInfoLen]) {
 				t.Fatal("session info parse→marshal diverges")
 			}
+			if !bytes.Equal(s.Append(nil), s.Marshal()) {
+				t.Fatal("session info Append diverges from Marshal")
+			}
 		}
 		if infos, err := ParseCatalog(buf); err == nil {
 			if len(buf) < 5+len(infos)*sessionInfoLen {
@@ -73,6 +76,9 @@ func FuzzParseControl(f *testing.F) {
 			}
 			if err == nil && len(round) != len(infos) {
 				t.Fatalf("catalog round-trip %d → %d entries", len(infos), len(round))
+			}
+			if !bytes.Equal(AppendCatalog(nil, infos), MarshalCatalog(infos)) {
+				t.Fatal("catalog Append diverges from Marshal")
 			}
 		}
 		if id, specific, ok := HelloSession(buf); ok {

@@ -40,15 +40,15 @@ type Header struct {
 var ErrShortPacket = errors.New("proto: packet shorter than header")
 
 // Marshal appends the 12-byte header encoding to dst and returns the
-// extended slice.
+// extended slice (the append-style encoder of the zero-copy send path:
+// with capacity available it compiles to direct stores, no staging
+// buffer).
 func (h Header) Marshal(dst []byte) []byte {
-	var b [HeaderLen]byte
-	binary.BigEndian.PutUint32(b[0:4], h.Index)
-	binary.BigEndian.PutUint32(b[4:8], h.Serial)
-	b[8] = h.Group
-	b[9] = h.Flags
-	binary.BigEndian.PutUint16(b[10:12], h.Session)
-	return append(dst, b[:]...)
+	return append(dst,
+		byte(h.Index>>24), byte(h.Index>>16), byte(h.Index>>8), byte(h.Index),
+		byte(h.Serial>>24), byte(h.Serial>>16), byte(h.Serial>>8), byte(h.Serial),
+		h.Group, h.Flags,
+		byte(h.Session>>8), byte(h.Session))
 }
 
 // ParseHeader decodes a header from the front of pkt and returns the
@@ -126,19 +126,30 @@ const (
 
 const sessionInfoLen = 2 + 2 + 1 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 8 + 4 + 4 + 4 + 4 // magic+type .. lt params
 
-// MarshalHello encodes a client hello probe. A bare hello asks for "the"
-// session — a multi-session service answers with its lowest session id (or
-// use MarshalHelloFor / the catalog for discovery).
-func MarshalHello() []byte {
-	return []byte{controlMag0, controlMag1, msgHello}
+// The control encoders come in two forms: Append* appends the encoding to
+// a caller-provided buffer (the zero-copy path — pooled buffers, no
+// per-message allocation), and Marshal* allocates a fresh slice (the
+// legacy convenience form, defined as Append* over a nil buffer). The two
+// forms produce byte-identical output; proto's differential tests and
+// fuzz targets hold them to that.
+
+// AppendHello appends a client hello probe to dst. A bare hello asks for
+// "the" session — a multi-session service answers with its lowest session
+// id (use AppendHelloFor / the catalog for discovery).
+func AppendHello(dst []byte) []byte {
+	return append(dst, controlMag0, controlMag1, msgHello)
 }
 
-// MarshalHelloFor encodes a hello probe asking for one specific session.
-func MarshalHelloFor(session uint16) []byte {
-	b := []byte{controlMag0, controlMag1, msgHello, 0, 0}
-	binary.BigEndian.PutUint16(b[3:5], session)
-	return b
+// MarshalHello encodes a client hello probe into a fresh slice.
+func MarshalHello() []byte { return AppendHello(nil) }
+
+// AppendHelloFor appends a hello probe asking for one specific session.
+func AppendHelloFor(dst []byte, session uint16) []byte {
+	return append(dst, controlMag0, controlMag1, msgHello, byte(session>>8), byte(session))
 }
+
+// MarshalHelloFor encodes a specific-session hello into a fresh slice.
+func MarshalHelloFor(session uint16) []byte { return AppendHelloFor(nil, session) }
 
 // IsHello reports whether buf is a client hello (with or without a session
 // id).
@@ -158,15 +169,16 @@ func HelloSession(buf []byte) (session uint16, specific, ok bool) {
 	return 0, false, true
 }
 
-// MarshalNak encodes a negative control reply: the service is alive but
+// AppendNak appends a negative control reply: the service is alive but
 // does not carry the requested session (SessionAny-style 0xFFFF means "no
 // sessions at all"). Without it, a typo'd session id and an unreachable
 // server would both look like a control timeout to the client.
-func MarshalNak(session uint16) []byte {
-	b := []byte{controlMag0, controlMag1, msgNak, 0, 0}
-	binary.BigEndian.PutUint16(b[3:5], session)
-	return b
+func AppendNak(dst []byte, session uint16) []byte {
+	return append(dst, controlMag0, controlMag1, msgNak, byte(session>>8), byte(session))
 }
+
+// MarshalNak encodes a negative control reply into a fresh slice.
+func MarshalNak(session uint16) []byte { return AppendNak(nil, session) }
 
 // ParseNak reports whether buf is a negative control reply, and for which
 // session id.
@@ -177,10 +189,13 @@ func ParseNak(buf []byte) (session uint16, ok bool) {
 	return binary.BigEndian.Uint16(buf[3:5]), true
 }
 
-// MarshalCatalogRequest encodes a catalog (session discovery) request.
-func MarshalCatalogRequest() []byte {
-	return []byte{controlMag0, controlMag1, msgCatalogReq}
+// AppendCatalogRequest appends a catalog (session discovery) request.
+func AppendCatalogRequest(dst []byte) []byte {
+	return append(dst, controlMag0, controlMag1, msgCatalogReq)
 }
+
+// MarshalCatalogRequest encodes a catalog request into a fresh slice.
+func MarshalCatalogRequest() []byte { return AppendCatalogRequest(nil) }
 
 // IsCatalogRequest reports whether buf is a catalog request.
 func IsCatalogRequest(buf []byte) bool {
@@ -193,25 +208,32 @@ func IsCatalogRequest(buf []byte) bool {
 // discovery would silently break.
 const MaxCatalogEntries = (65000 - 5) / sessionInfoLen
 
-// MarshalCatalog encodes the announce/catalog message: the descriptors of
+// AppendCatalog appends the announce/catalog message: the descriptors of
 // the sessions a service currently carries, so one control round-trip
 // discovers everything needed to subscribe and decode any of them. A
 // catalog beyond MaxCatalogEntries is truncated to the first entries
 // (callers list sessions lowest-id first, so the surviving prefix is
-// deterministic); clients needing the rest ask for sessions by id.
-func MarshalCatalog(infos []SessionInfo) []byte {
+// deterministic); clients needing the rest ask for sessions by id. Each
+// entry is encoded in place — no per-entry allocation.
+func AppendCatalog(dst []byte, infos []SessionInfo) []byte {
 	if len(infos) > MaxCatalogEntries {
 		infos = infos[:MaxCatalogEntries]
 	}
-	b := make([]byte, 0, 5+len(infos)*sessionInfoLen)
-	b = append(b, controlMag0, controlMag1, msgCatalog)
-	var tmp [2]byte
-	binary.BigEndian.PutUint16(tmp[:], uint16(len(infos)))
-	b = append(b, tmp[:]...)
+	dst = append(dst, controlMag0, controlMag1, msgCatalog,
+		byte(len(infos)>>8), byte(len(infos)))
 	for _, s := range infos {
-		b = append(b, s.Marshal()...)
+		dst = s.Append(dst)
 	}
-	return b
+	return dst
+}
+
+// MarshalCatalog encodes the announce/catalog message into a fresh slice.
+func MarshalCatalog(infos []SessionInfo) []byte {
+	n := len(infos)
+	if n > MaxCatalogEntries {
+		n = MaxCatalogEntries
+	}
+	return AppendCatalog(make([]byte, 0, 5+n*sessionInfoLen), infos)
 }
 
 // ParseCatalog decodes a catalog message.
@@ -236,39 +258,43 @@ func ParseCatalog(buf []byte) ([]SessionInfo, error) {
 	return infos, nil
 }
 
-// Marshal encodes the session info control message.
-func (s SessionInfo) Marshal() []byte {
-	b := make([]byte, 0, sessionInfoLen)
-	b = append(b, controlMag0, controlMag1, msgSession)
+// Append appends the session info control message encoding to dst.
+func (s SessionInfo) Append(dst []byte) []byte {
+	dst = append(dst, controlMag0, controlMag1, msgSession)
 	var tmp [8]byte
 	binary.BigEndian.PutUint16(tmp[:2], s.Session)
-	b = append(b, tmp[:2]...)
-	b = append(b, s.Codec, s.Layers)
+	dst = append(dst, tmp[:2]...)
+	dst = append(dst, s.Codec, s.Layers)
 	binary.BigEndian.PutUint32(tmp[:4], s.K)
-	b = append(b, tmp[:4]...)
+	dst = append(dst, tmp[:4]...)
 	binary.BigEndian.PutUint32(tmp[:4], s.N)
-	b = append(b, tmp[:4]...)
+	dst = append(dst, tmp[:4]...)
 	binary.BigEndian.PutUint32(tmp[:4], s.PacketLen)
-	b = append(b, tmp[:4]...)
+	dst = append(dst, tmp[:4]...)
 	binary.BigEndian.PutUint64(tmp[:8], s.FileLen)
-	b = append(b, tmp[:8]...)
+	dst = append(dst, tmp[:8]...)
 	binary.BigEndian.PutUint64(tmp[:8], uint64(s.Seed))
-	b = append(b, tmp[:8]...)
+	dst = append(dst, tmp[:8]...)
 	binary.BigEndian.PutUint32(tmp[:4], s.BaseRate)
-	b = append(b, tmp[:4]...)
+	dst = append(dst, tmp[:4]...)
 	binary.BigEndian.PutUint32(tmp[:4], s.SPInterval)
-	b = append(b, tmp[:4]...)
+	dst = append(dst, tmp[:4]...)
 	binary.BigEndian.PutUint64(tmp[:8], s.FileHash)
-	b = append(b, tmp[:8]...)
+	dst = append(dst, tmp[:8]...)
 	binary.BigEndian.PutUint32(tmp[:4], s.InterleaveK)
-	b = append(b, tmp[:4]...)
+	dst = append(dst, tmp[:4]...)
 	binary.BigEndian.PutUint32(tmp[:4], s.Phase)
-	b = append(b, tmp[:4]...)
+	dst = append(dst, tmp[:4]...)
 	binary.BigEndian.PutUint32(tmp[:4], s.LTCMicro)
-	b = append(b, tmp[:4]...)
+	dst = append(dst, tmp[:4]...)
 	binary.BigEndian.PutUint32(tmp[:4], s.LTDeltaMicro)
-	b = append(b, tmp[:4]...)
-	return b
+	dst = append(dst, tmp[:4]...)
+	return dst
+}
+
+// Marshal encodes the session info control message into a fresh slice.
+func (s SessionInfo) Marshal() []byte {
+	return s.Append(make([]byte, 0, sessionInfoLen))
 }
 
 // ParseSessionInfo decodes a session info message.

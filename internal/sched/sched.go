@@ -92,42 +92,63 @@ func reverseBits(v, width int) int {
 // (0-based). The result is sorted ascending and has SlotsPerRound(layer)
 // entries.
 func (s *Schedule) Slots(layer, round int) []int {
+	return s.AppendSlots(nil, layer, round)
+}
+
+// slotBase returns the first block-relative slot layer i sends in the
+// given round; the layer's SlotsPerRound slots are consecutive from it.
+// This is the one home of the reverse-binary slot derivation — both slot
+// enumeration and packet-index expansion build on it.
+func (s *Schedule) slotBase(layer, round int) int {
 	if layer < 0 || layer >= s.g {
 		panic(fmt.Sprintf("sched: layer %d out of range [0,%d)", layer, s.g))
 	}
 	if s.g == 1 {
-		return []int{0} // single layer, single slot per block
+		return 0 // single layer, single slot per block
 	}
 	j0 := round % s.b
 	if layer == 0 {
-		return []int{reverseBits(j0, s.g-1) ^ (s.b - 1)}
+		return reverseBits(j0, s.g-1) ^ (s.b - 1)
 	}
 	prefixBits := s.g - layer
-	suffixBits := layer - 1
 	mask := ((1 << (s.g - 1 - layer)) - 1) << 1
 	prefix := reverseBits(j0%(1<<prefixBits), prefixBits) ^ mask
-	out := make([]int, 1<<suffixBits)
-	base := prefix << suffixBits
-	for i := range out {
-		out[i] = base + i
+	return prefix << (layer - 1)
+}
+
+// AppendSlots appends the round's block-relative slots for a layer to dst
+// and returns the extended slice — the allocation-free form of Slots for
+// callers that reuse a scratch buffer across rounds.
+func (s *Schedule) AppendSlots(dst []int, layer, round int) []int {
+	base := s.slotBase(layer, round)
+	for i := 0; i < s.SlotsPerRound(layer); i++ {
+		dst = append(dst, base+i)
 	}
-	return out
+	return dst
 }
 
 // PacketIndices expands the round's slots for a layer into encoding-packet
 // indices for an encoding of n packets: slot t yields t, t+B, t+2B, ...
 // (one per block), skipping indices >= n when the last block is partial.
 func (s *Schedule) PacketIndices(layer, round, n int) []int {
-	slots := s.Slots(layer, round)
+	return s.AppendPacketIndices(nil, layer, round, n)
+}
+
+// AppendPacketIndices is the allocation-free form of PacketIndices: the
+// expanded indices are appended to dst. Steady-state carousel emission
+// walks the schedule through a reused scratch slice, so packet index
+// generation costs no allocations per round. The emitted order
+// (block-major, slot-minor) is identical to PacketIndices'.
+func (s *Schedule) AppendPacketIndices(dst []int, layer, round, n int) []int {
+	base := s.slotBase(layer, round)
+	slotCount := s.SlotsPerRound(layer)
 	blocks := (n + s.b - 1) / s.b
-	out := make([]int, 0, len(slots)*blocks)
 	for b := 0; b < blocks; b++ {
-		for _, t := range slots {
-			idx := b*s.b + t
-			if idx < n {
-				out = append(out, idx)
+		for i := 0; i < slotCount; i++ {
+			if idx := b*s.b + base + i; idx < n {
+				dst = append(dst, idx)
 			}
 		}
 	}
-	return out
+	return dst
 }

@@ -12,13 +12,15 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/transport"
 )
 
-// Sender is the transmit side of a transport (transport.Bus and
-// transport.UDPServer both satisfy it).
-type Sender interface {
-	Send(layer int, pkt []byte) error
-}
+// Sender is the minimal transmit side of a transport — one packet per
+// call. It is an alias of transport.PacketSender, the narrow end of the
+// unified transport.Sender interface; transport.AsSender upgrades any
+// Sender with a batch fallback, so batch-first senders (the service's
+// pacing scheduler) and this engine drive the same transports.
+type Sender = transport.PacketSender
 
 // Engine transmits one session.
 type Engine struct {

@@ -1,0 +1,9 @@
+//go:build race
+
+package service
+
+// raceEnabled reports that the race detector instruments this build; its
+// sync.Pool interception allocates on the otherwise alloc-free send path,
+// so allocation-count assertions are skipped (CI gates allocs/op through
+// the non-instrumented sender bench suite instead).
+const raceEnabled = true

@@ -1,0 +1,314 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/transport"
+)
+
+// The pacing scheduler replaces the one-goroutine-per-session sender of
+// the earlier service: every paced session is an emission event on a
+// min-heap keyed by its next deadline on a monotonic clock, and a fixed
+// set of shard workers (GOMAXPROCS by default) pops due events, emits one
+// carousel round each through pooled buffers and per-layer batches, and
+// pushes the event back at deadline + interval. Registering 1 or 10,000
+// sessions costs the same goroutine count; per-session cost is one heap
+// entry.
+//
+// Emission content and order per (session, layer) are exactly the
+// carousel's — the scheduler only decides *when* a session's next round
+// runs, never *what* it contains.
+
+// schedEvent is one paced session's place in a shard's deadline heap.
+type schedEvent struct {
+	e        *entry
+	next     time.Duration // deadline, relative to the scheduler epoch
+	interval time.Duration // carousel round spacing (server.PaceInterval)
+	shard    *shard
+	removed  bool // guarded by shard.mu; a removed event is never re-pushed
+}
+
+// shard is one worker: a deadline heap, a kick channel for heap changes,
+// and a pooled emitter. Sessions are spread round-robin across shards.
+type shard struct {
+	svc   *Service
+	epoch time.Time // the deadline clock's zero, fixed at construction
+	mu    sync.Mutex
+	heap  []*schedEvent // min-heap by next
+	kick  chan struct{}
+	done  chan struct{}
+}
+
+// scheduler owns the shards and the epoch of the monotonic deadline clock.
+type scheduler struct {
+	svc    *Service
+	epoch  time.Time
+	shards []*shard
+	nextSh int // round-robin assignment cursor; guarded by Service.mu
+}
+
+func newScheduler(svc *Service, ctx context.Context, shards int) *scheduler {
+	sc := &scheduler{svc: svc, epoch: time.Now()}
+	for i := 0; i < shards; i++ {
+		sh := &shard{
+			svc:   svc,
+			epoch: sc.epoch,
+			kick:  make(chan struct{}, 1),
+			done:  make(chan struct{}),
+		}
+		sc.shards = append(sc.shards, sh)
+		go sh.run(ctx)
+	}
+	return sc
+}
+
+// add registers a paced entry: its first round fires immediately. The
+// caller holds Service.mu (so add never races Close's closed check).
+func (sc *scheduler) add(e *entry, interval time.Duration) {
+	sh := sc.shards[sc.nextSh%len(sc.shards)]
+	sc.nextSh++
+	ev := &schedEvent{e: e, next: time.Since(sc.epoch), interval: interval, shard: sh}
+	e.ev = ev
+	sh.mu.Lock()
+	sh.push(ev)
+	sh.mu.Unlock()
+	sh.wake()
+}
+
+// remove takes a paced entry out of its shard's schedule and guarantees,
+// once it returns, that no further round of the entry will be emitted:
+// the removed mark stops future pops and re-pushes, and acquiring the
+// entry's emit lock waits out any round already in flight.
+func (sc *scheduler) remove(e *entry) {
+	ev := e.ev
+	if ev == nil {
+		return // manual session: never scheduled
+	}
+	ev.shard.mu.Lock()
+	ev.removed = true
+	ev.shard.mu.Unlock()
+	e.emitMu.Lock()
+	e.stopped = true
+	e.emitMu.Unlock()
+}
+
+// wake nudges the shard's worker after a heap change; a pending nudge is
+// enough, so the send never blocks.
+func (sh *shard) wake() {
+	select {
+	case sh.kick <- struct{}{}:
+	default:
+	}
+}
+
+// run is the shard worker: sleep until the earliest deadline (or a heap
+// change), emit that session's round, reschedule it. Steady-state
+// emission — heap ops, pooled packet building, batched sends — allocates
+// nothing.
+func (sh *shard) run(ctx context.Context) {
+	defer close(sh.done)
+	em := newEmitter(sh.svc)
+	timer := time.NewTimer(time.Hour)
+	defer timer.Stop()
+	for {
+		sh.mu.Lock()
+		for len(sh.heap) > 0 && sh.heap[0].removed {
+			sh.pop()
+		}
+		if len(sh.heap) == 0 {
+			sh.mu.Unlock()
+			select {
+			case <-ctx.Done():
+				return
+			case <-sh.kick:
+			}
+			continue
+		}
+		ev := sh.heap[0]
+		now := time.Since(sh.epoch)
+		if d := ev.next - now; d > 0 {
+			sh.mu.Unlock()
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(d)
+			select {
+			case <-ctx.Done():
+				return
+			case <-sh.kick:
+			case <-timer.C:
+			}
+			continue
+		}
+		sh.pop()
+		sh.mu.Unlock()
+
+		sh.emitDue(ev, &em)
+		if ctx.Err() != nil {
+			return
+		}
+
+		sh.mu.Lock()
+		if !ev.removed {
+			sh.push(ev)
+		}
+		sh.mu.Unlock()
+	}
+}
+
+// maxRoundsPerPop caps how many catch-up rounds one pop may emit when the
+// session is behind schedule. Batching a few rounds per pop amortizes the
+// heap, clock and lock costs and reuses the session's encoding while it
+// is cache-hot; the cap keeps co-scheduled sessions fair.
+const maxRoundsPerPop = 4
+
+// emitDue emits the event's due round — plus the back-to-back burst round
+// of §7.1.1 when the next round is a burst, plus up to maxRoundsPerPop-1
+// catch-up rounds while the session remains behind schedule — under the
+// entry's emit lock so Remove can wait out in-flight rounds. It advances
+// ev.next past now (dropping any remaining debt, the analogue of a ticker
+// dropping missed ticks).
+func (sh *shard) emitDue(ev *schedEvent, em *emitter) {
+	e := ev.e
+	e.emitMu.Lock()
+	defer e.emitMu.Unlock()
+	for rounds := 0; ; {
+		if e.stopped {
+			return
+		}
+		em.emitRound(e.car)
+		if e.car.BurstNext() {
+			em.emitRound(e.car)
+		}
+		rounds++
+		ev.next += ev.interval
+		now := time.Since(sh.epoch)
+		if ev.next > now {
+			return
+		}
+		if rounds >= maxRoundsPerPop {
+			ev.next = now // drop the rest of the debt
+			return
+		}
+	}
+}
+
+// push inserts ev into the deadline heap; callers hold sh.mu.
+func (sh *shard) push(ev *schedEvent) {
+	sh.heap = append(sh.heap, ev)
+	i := len(sh.heap) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if sh.heap[parent].next <= sh.heap[i].next {
+			break
+		}
+		sh.heap[parent], sh.heap[i] = sh.heap[i], sh.heap[parent]
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event; callers hold sh.mu.
+func (sh *shard) pop() *schedEvent {
+	h := sh.heap
+	top := h[0]
+	last := len(h) - 1
+	h[0] = h[last]
+	h[last] = nil
+	sh.heap = h[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < last && sh.heap[l].next < sh.heap[small].next {
+			small = l
+		}
+		if r < last && sh.heap[r].next < sh.heap[small].next {
+			small = r
+		}
+		if small == i {
+			break
+		}
+		sh.heap[small], sh.heap[i] = sh.heap[i], sh.heap[small]
+		i = small
+	}
+	return top
+}
+
+// emitter is the zero-alloc round emission sink: it implements
+// core.RoundEmitter by building each packet in a pooled buffer, grouping
+// consecutive same-layer packets into one batch, and handing each batch to
+// the service's counting batch sender. Buffers are released back to the
+// pool as soon as their batch is sent (transports and Bus handlers must
+// not retain packet bytes — see transport.Sender).
+type emitter struct {
+	svc     *Service
+	free    *transport.FreeList
+	pending *transport.Buf   // buffer handed out by PacketBuf, not yet Emitted
+	bufs    []*transport.Buf // pooled buffers of the in-progress batch
+	batch   [][]byte         // packets of the in-progress batch
+	layer   int
+}
+
+func newEmitter(svc *Service) emitter {
+	return emitter{svc: svc, free: transport.NewFreeList(svc.pool)}
+}
+
+// PacketBuf implements core.RoundEmitter. The buffer joins the batch only
+// at Emit time: a layer change flushes (and releases) the previous batch,
+// and the packet being built must survive that release.
+func (em *emitter) PacketBuf(size int) []byte {
+	em.pending = em.free.Get(size)
+	return em.pending.B
+}
+
+// maxBatch caps the packets (and so the pooled buffers) one batch may
+// accumulate before flushing: large sessions emit thousands of packets
+// per layer per round, and streaming them in bounded batches keeps peak
+// send-path memory at maxBatch wire buffers per shard instead of a whole
+// layer's worth. 128 spans two sendmmsg chunks.
+const maxBatch = 128
+
+// Emit implements core.RoundEmitter: consecutive packets of one layer
+// accumulate into a batch; a layer change or a full batch flushes. The
+// carousel emits layer by layer, so a round becomes one batch per layer
+// per maxBatch packets, in emission order.
+func (em *emitter) Emit(layer int, pkt []byte) error {
+	if len(em.batch) > 0 && (layer != em.layer || len(em.batch) >= maxBatch) {
+		em.flush()
+	}
+	em.layer = layer
+	em.bufs = append(em.bufs, em.pending)
+	em.pending = nil
+	em.batch = append(em.batch, pkt)
+	return nil
+}
+
+// flush sends the accumulated batch through the counting sender (which
+// swallows transport errors — a fountain retransmits everything
+// eventually) and releases the batch's buffers to the pool.
+func (em *emitter) flush() {
+	if len(em.batch) > 0 {
+		countingSender{em.svc}.SendBatch(em.layer, em.batch)
+	}
+	for i, b := range em.bufs {
+		em.free.Put(b)
+		em.bufs[i] = nil
+	}
+	em.bufs = em.bufs[:0]
+	em.batch = em.batch[:0]
+}
+
+// emitRound emits one full carousel round through the emitter. The
+// carousel can only fail on emit errors, and Emit never fails, so the
+// round always completes; sends themselves are counted (and their errors
+// swallowed) by the counting sender.
+func (em *emitter) emitRound(car *core.Carousel) {
+	_ = car.NextRoundTo(em)
+	em.flush()
+}

@@ -1,20 +1,28 @@
 // Package service is the multi-session fountain server core: a registry of
-// concurrent sessions keyed by the 12-byte-header session id, one paced
-// sender goroutine per session (each driving its own core.Carousel), a
-// shared bounded cache for lazily encoded repair blocks, and the control
-// handler that answers hello and catalog probes.
+// concurrent sessions keyed by the 12-byte-header session id, one shared
+// pacing scheduler (a deadline min-heap per shard worker, GOMAXPROCS
+// shards) driving every session's core.Carousel, a shared bounded cache
+// for lazily encoded repair blocks, and the control handler that answers
+// hello and catalog probes.
 //
 // This is the shape the paper argues for in §1/§7 — a fountain server is
 // stateless per receiver, so one process can carry many files for many
 // heterogeneous receiver populations at once; all per-receiver state lives
 // at the receivers. The service adds only per-session state: a carousel
-// position and a rate.
+// position, a rate, and one heap entry in the scheduler — no per-session
+// goroutine, so 1 and 10,000 sessions cost the same goroutine count.
+//
+// The send path is zero-copy: rounds are built packet-by-packet into
+// pooled buffers (transport.BufPool), batched per layer, and handed to the
+// unified transport.Sender batch interface — identical code whether the
+// transport is the in-process Bus, the real UDP socket, or a test sink.
 package service
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -35,46 +43,75 @@ type Config struct {
 	// BaseRate is the default base-layer pacing in packets/second for
 	// sessions added without an explicit rate (0 = 512).
 	BaseRate int
+	// Shards is the number of scheduler worker goroutines sharing the
+	// paced sessions (0 = GOMAXPROCS). The shard count bounds send-path
+	// parallelism; it does not grow with the session count.
+	Shards int
 }
 
 // Stats is a snapshot of the service counters.
 type Stats struct {
 	Sessions    int    // registered sessions
+	Shards      int    // scheduler worker goroutines
 	PacketsSent uint64 // data packets handed to the transport
 	BytesSent   uint64 // data bytes handed to the transport
-	SendErrors  uint64 // transport send failures (packets dropped)
-	CacheUsed   int64  // bytes currently held by the shared block cache
-	CachePeak   int64  // high-water mark of the shared block cache
+	// SendErrors counts transport send failures: dropped packets on the
+	// per-packet path, failure events (at least one errored write in a
+	// batch — batch transports isolate errors per subscriber, so the rest
+	// of the fan-out was still attempted) on the batch path.
+	SendErrors  uint64
+	CacheUsed   int64 // bytes currently held by the shared block cache
+	CachePeak   int64 // high-water mark of the shared block cache
 	CacheHits   uint64
 	CacheMisses uint64
 }
 
 type entry struct {
-	sess   *core.Session
-	rate   int
-	phase  int
-	cancel context.CancelFunc
-	done   chan struct{}
+	sess  *core.Session
+	rate  int
+	phase int
+	car   *core.Carousel // the scheduler-driven carousel (nil for manual)
+	ev    *schedEvent    // heap entry (nil for manual)
+
+	// emitMu serializes this session's round emission against removal:
+	// a worker holds it while emitting, Remove sets stopped under it.
+	emitMu  sync.Mutex
+	stopped bool
 }
 
 // Service runs any number of fountain sessions over one transport.
 type Service struct {
-	cfg    Config
-	tx     server.Sender
-	cache  *core.BlockCache
-	ctx    context.Context
-	cancel context.CancelFunc
+	cfg Config
+	tx  server.Sender // as handed in
+	// txBatch is tx when it supports native batching (Bus, UDPServer),
+	// nil otherwise — plain senders take the per-packet counting path,
+	// which isolates and counts errors packet by packet.
+	txBatch transport.Sender
+	pool    *transport.BufPool
+	cache   *core.BlockCache
+	sched   *scheduler
+	ctx     context.Context
+	cancel  context.CancelFunc
 
 	mu       sync.Mutex
 	sessions map[uint16]*entry
 	closed   bool
+
+	// manualMu guards the emitter shared by EmitRound callers (manual
+	// sessions are typically driven from one virtual-clock pump, so this
+	// lock is uncontended).
+	manualMu sync.Mutex
+	manualEm emitter
 
 	packets    atomic.Uint64
 	bytes      atomic.Uint64
 	sendErrors atomic.Uint64
 }
 
-// New creates a service transmitting on tx. Close releases it.
+// New creates a service transmitting on tx. Any Sender works; transports
+// implementing transport.Sender (Bus, UDPServer) get whole per-layer
+// batches per call, everything else gets a per-packet fallback loop.
+// Close releases the service.
 func New(tx server.Sender, cfg Config) *Service {
 	if cfg.CacheBytes <= 0 {
 		cfg.CacheBytes = 64 << 20
@@ -82,15 +119,25 @@ func New(tx server.Sender, cfg Config) *Service {
 	if cfg.BaseRate <= 0 {
 		cfg.BaseRate = 512
 	}
+	if cfg.Shards <= 0 {
+		cfg.Shards = runtime.GOMAXPROCS(0)
+	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Service{
+	s := &Service{
 		cfg:      cfg,
 		tx:       tx,
+		pool:     transport.NewBufPool(),
 		cache:    core.NewBlockCache(cfg.CacheBytes),
 		ctx:      ctx,
 		cancel:   cancel,
 		sessions: make(map[uint16]*entry),
 	}
+	if bs, ok := tx.(transport.Sender); ok {
+		s.txBatch = bs
+	}
+	s.manualEm = newEmitter(s)
+	s.sched = newScheduler(s, ctx, cfg.Shards)
+	return s
 }
 
 // Cache exposes the shared block cache (for inspection and tests).
@@ -98,7 +145,7 @@ func (s *Service) Cache() *core.BlockCache { return s.cache }
 
 // AddData encodes data under cfg — lazily, against the shared cache, when
 // the codec supports it — registers the session under cfg.Session, and
-// starts its paced sender. rate <= 0 uses the service default.
+// schedules its paced emission. rate <= 0 uses the service default.
 func (s *Service) AddData(data []byte, cfg core.Config, rate int) (*core.Session, error) {
 	return s.AddDataPhased(data, cfg, rate, 0)
 }
@@ -115,14 +162,14 @@ func (s *Service) AddDataPhased(data []byte, cfg core.Config, rate, phase int) (
 	return sess, nil
 }
 
-// Add registers an existing session and starts its paced sender goroutine.
+// Add registers an existing session and schedules its paced emission.
 // The session id (Config().Session) must be unused and must not be the
 // transport wildcard.
 func (s *Service) Add(sess *core.Session, rate int) error {
 	return s.AddPhased(sess, rate, 0)
 }
 
-// AddPhased is Add with a carousel phase offset: the session's sender
+// AddPhased is Add with a carousel phase offset: the session's carousel
 // starts transmitting at the given round instead of round 0, and the phase
 // is advertised in the session's control descriptor. Mirrors of a shared
 // encoding register the same session at staggered phases (§8), so a
@@ -133,11 +180,12 @@ func (s *Service) AddPhased(sess *core.Session, rate, phase int) error {
 }
 
 // AddManual registers a session — visible to control/catalog like any
-// other, phase advertised — but starts no sender goroutine: the caller
-// drives the returned carousel (through Sender() to keep the counters
-// honest, or any other emit). This is the virtual-time shape: deterministic
-// experiments and the loss-injection harness step mirrors on a virtual
-// clock instead of real pacing.
+// other, phase advertised — but schedules no emission: the caller drives
+// the returned carousel (through EmitRound, which runs the same pooled
+// batched send path the scheduler uses, or Sender() for per-packet
+// emission). This is the virtual-time shape: deterministic experiments
+// and the loss-injection harness step mirrors on a virtual clock instead
+// of real pacing.
 func (s *Service) AddManual(sess *core.Session, rate, phase int) (*core.Carousel, error) {
 	if _, err := s.register(sess, rate, phase, true); err != nil {
 		return nil, err
@@ -146,9 +194,8 @@ func (s *Service) AddManual(sess *core.Session, rate, phase int) (*core.Carousel
 }
 
 // register validates and inserts a fully initialized registry entry, and
-// (unless manual) starts the paced sender goroutine. It holds the registry
-// lock throughout so a concurrent Remove can never observe a half-built
-// entry.
+// (unless manual) schedules its paced emission. It holds the registry lock
+// throughout so a concurrent Remove can never observe a half-built entry.
 func (s *Service) register(sess *core.Session, rate, phase int, manual bool) (*entry, error) {
 	if rate <= 0 {
 		rate = s.cfg.BaseRate
@@ -168,37 +215,36 @@ func (s *Service) register(sess *core.Session, rate, phase int, manual bool) (*e
 	if _, dup := s.sessions[id]; dup {
 		return nil, fmt.Errorf("service: session id %#x already registered", id)
 	}
-	e := &entry{sess: sess, rate: rate, phase: phase, done: make(chan struct{})}
-	if manual {
-		e.cancel = func() {}
-		close(e.done) // no sender goroutine to join at Remove/Close time
-	} else {
-		ctx, cancel := context.WithCancel(s.ctx)
-		e.cancel = cancel
-		go s.run(ctx, e)
+	e := &entry{sess: sess, rate: rate, phase: phase}
+	if !manual {
+		e.car = core.NewCarouselAt(sess, phase)
+		s.sched.add(e, server.PaceInterval(sess, rate))
 	}
 	s.sessions[id] = e
 	return e, nil
 }
 
-// run is one session's sender: server.Engine's real-time pacing over a
-// counting transport wrapper, so the service owns only lifecycle and
-// counters and any pacing fix lands in exactly one place.
-func (s *Service) run(ctx context.Context, e *entry) {
-	defer close(e.done)
-	server.NewAt(e.sess, countingSender{s}, e.phase).Run(ctx, e.rate)
-}
-
 // Sender returns the service's counting sender: packets emitted through it
-// reach the service transport and move the Stats counters. Manual-session
-// drivers (AddManual) use it so virtual-time harnesses account traffic the
-// same way paced senders do.
+// reach the service transport and move the Stats counters. It implements
+// the unified transport.Sender, so manual-session drivers can emit per
+// packet or per batch and account traffic the same way the scheduler does.
 func (s *Service) Sender() server.Sender { return countingSender{s} }
 
+// EmitRound emits one round of a manual session's carousel through the
+// pooled, batched send path — byte-for-byte the code the scheduler's shard
+// workers run, so virtual-time harnesses exercise the real emission
+// machinery and their determinism tests oracle it.
+func (s *Service) EmitRound(car *core.Carousel) error {
+	s.manualMu.Lock()
+	defer s.manualMu.Unlock()
+	s.manualEm.emitRound(car)
+	return nil
+}
+
 // countingSender forwards to the service transport, counting traffic.
-// Transport errors are counted and the packet dropped — a fountain
+// Transport errors are counted and the packets dropped — a fountain
 // retransmits everything eventually, so a lost send is indistinguishable
-// from network loss and must not kill the session's sender.
+// from network loss and must not kill the session's emission.
 type countingSender struct{ s *Service }
 
 func (c countingSender) Send(layer int, pkt []byte) error {
@@ -211,8 +257,33 @@ func (c countingSender) Send(layer int, pkt []byte) error {
 	return nil
 }
 
-// Remove stops a session's sender, waits for it to exit, and drops the
-// session's blocks from the shared cache.
+func (c countingSender) SendBatch(layer int, pkts [][]byte) error {
+	if c.s.txBatch == nil {
+		// Plain per-packet transport: send, swallow and count errors
+		// packet by packet, exactly as the per-goroutine sender did.
+		for _, pkt := range pkts {
+			c.Send(layer, pkt)
+		}
+		return nil
+	}
+	// Batch transports isolate errors internally (a failing subscriber
+	// forfeits only its own writes — see transport.UDPServer.SendBatch)
+	// and report only that *something* failed, so the whole batch counts
+	// as handed to the transport and the error as one failure event.
+	if err := c.s.txBatch.SendBatch(layer, pkts); err != nil {
+		c.s.sendErrors.Add(1)
+	}
+	c.s.packets.Add(uint64(len(pkts)))
+	var nb uint64
+	for _, p := range pkts {
+		nb += uint64(len(p))
+	}
+	c.s.bytes.Add(nb)
+	return nil
+}
+
+// Remove stops a session's paced emission — waiting out any in-flight
+// round — and drops the session's blocks from the shared cache.
 func (s *Service) Remove(id uint16) error {
 	s.mu.Lock()
 	e, ok := s.sessions[id]
@@ -223,8 +294,7 @@ func (s *Service) Remove(id uint16) error {
 	if !ok {
 		return fmt.Errorf("service: unknown session %#x", id)
 	}
-	e.cancel()
-	<-e.done
+	s.sched.remove(e)
 	s.cache.Drop(e.sess)
 	return nil
 }
@@ -293,6 +363,7 @@ func (s *Service) Stats() Stats {
 	hits, misses := s.cache.Stats()
 	return Stats{
 		Sessions:    n,
+		Shards:      len(s.sched.shards),
 		PacketsSent: s.packets.Load(),
 		BytesSent:   s.bytes.Load(),
 		SendErrors:  s.sendErrors.Load(),
@@ -303,19 +374,17 @@ func (s *Service) Stats() Stats {
 	}
 }
 
-// Close stops every sender goroutine and waits for them to exit. The
+// Close stops the scheduler and waits for every shard worker to exit. The
 // service cannot be reused afterwards.
 func (s *Service) Close() {
 	s.mu.Lock()
 	s.closed = true
-	entries := make([]*entry, 0, len(s.sessions))
-	for id, e := range s.sessions {
-		entries = append(entries, e)
+	for id := range s.sessions {
 		delete(s.sessions, id)
 	}
 	s.mu.Unlock()
 	s.cancel()
-	for _, e := range entries {
-		<-e.done
+	for _, sh := range s.sched.shards {
+		<-sh.done
 	}
 }

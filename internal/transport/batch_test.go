@@ -1,0 +1,340 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+func testPacket(session uint16, layer uint8, serial uint32, payload []byte) []byte {
+	return append(proto.Header{
+		Index: serial, Serial: serial, Group: layer, Session: session,
+	}.Marshal(nil), payload...)
+}
+
+// subscribeDirect injects a subscription without the SUB datagram
+// round-trip, so fan-out tests need no socket timing.
+func subscribeDirect(s *UDPServer, session uint16, layer uint8, addr netip.AddrPort) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := subKey{session, layer}
+	set := s.subs[key]
+	if set == nil {
+		set = make(map[netip.AddrPort]struct{})
+		s.subs[key] = set
+	}
+	set[addr] = struct{}{}
+}
+
+// TestSendFanoutBufferIdentity is the encode-once/write-many regression
+// test: across the whole fan-out of Send and SendBatch — every subscriber,
+// every packet — the byte slice handed to the write layer must be the very
+// buffer the caller passed in (same backing array, same length). One
+// encode, N writes, zero copies.
+func TestSendFanoutBufferIdentity(t *testing.T) {
+	s, err := NewUDPServer("127.0.0.1:0", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	subs := []netip.AddrPort{
+		netip.MustParseAddrPort("127.0.0.1:19001"),
+		netip.MustParseAddrPort("127.0.0.1:19002"),
+		netip.MustParseAddrPort("127.0.0.1:19003"),
+	}
+	for _, a := range subs {
+		subscribeDirect(s, 0xDF98, 1, a)
+	}
+	type write struct {
+		head *byte
+		n    int
+	}
+	var writes []write
+	s.batchPortable = true // route the batch path through writeOne
+	s.writeOne = func(pkt []byte, to netip.AddrPort) error {
+		writes = append(writes, write{&pkt[0], len(pkt)})
+		return nil
+	}
+
+	pkt := testPacket(0xDF98, 1, 1, []byte("payload"))
+	if err := s.Send(1, pkt); err != nil {
+		t.Fatal(err)
+	}
+	if len(writes) != len(subs) {
+		t.Fatalf("Send fanned out %d writes, want %d", len(writes), len(subs))
+	}
+	for i, w := range writes {
+		if w.head != &pkt[0] || w.n != len(pkt) {
+			t.Fatalf("Send write %d used a different buffer (copied or re-encoded)", i)
+		}
+	}
+
+	writes = writes[:0]
+	batch := [][]byte{
+		pkt,
+		testPacket(0xDF98, 1, 2, []byte("payload2")),
+		testPacket(0xDF98, 1, 3, []byte("payload3")),
+	}
+	if err := s.SendBatch(1, batch); err != nil {
+		t.Fatal(err)
+	}
+	if want := len(subs) * len(batch); len(writes) != want {
+		t.Fatalf("SendBatch fanned out %d writes, want %d", len(writes), want)
+	}
+	// Per-subscriber coalescing: each subscriber sees the whole batch in
+	// order, and every write reuses the caller's exact buffers.
+	for wi, w := range writes {
+		want := batch[wi%len(batch)]
+		if w.head != &want[0] || w.n != len(want) {
+			t.Fatalf("SendBatch write %d used a different buffer (copied or re-encoded)", wi)
+		}
+	}
+}
+
+// TestSendBatchRoutesSessionRuns: a batch mixing session ids must route
+// each run to its own subscriber set.
+func TestSendBatchRoutesSessionRuns(t *testing.T) {
+	s, err := NewUDPServer("127.0.0.1:0", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	aAddr := netip.MustParseAddrPort("127.0.0.1:19011")
+	bAddr := netip.MustParseAddrPort("127.0.0.1:19012")
+	subscribeDirect(s, 0xAAAA, 0, aAddr)
+	subscribeDirect(s, 0xBBBB, 0, bAddr)
+	got := map[netip.AddrPort]int{}
+	s.batchPortable = true
+	s.writeOne = func(pkt []byte, to netip.AddrPort) error {
+		got[to]++
+		return nil
+	}
+	batch := [][]byte{
+		testPacket(0xAAAA, 0, 1, nil),
+		testPacket(0xAAAA, 0, 2, nil),
+		testPacket(0xBBBB, 0, 1, nil),
+	}
+	if err := s.SendBatch(0, batch); err != nil {
+		t.Fatal(err)
+	}
+	if got[aAddr] != 2 || got[bAddr] != 1 {
+		t.Fatalf("session runs misrouted: %v", got)
+	}
+}
+
+// TestUDPSendBatchLoopback sends a batch large enough to cross the
+// sendmmsg chunk boundary through the real socket path and verifies a
+// subscribed client receives every packet in order.
+func TestUDPSendBatchLoopback(t *testing.T) {
+	s, err := NewUDPServer("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := NewUDPClientSession(s.Addr(), 0xDF98, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.SessionSubscribers(0xDF98, 0) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	const n = 150 // > 2 * mmsgChunk: exercises chunking on Linux
+	batch := make([][]byte, n)
+	for i := range batch {
+		batch[i] = testPacket(0xDF98, 0, uint32(i+1), []byte(fmt.Sprintf("p%03d", i)))
+	}
+	if err := s.SendBatch(0, batch); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		pkt, ok := c.Recv(5 * time.Second)
+		if !ok {
+			t.Fatalf("receive timed out after %d of %d packets", i, n)
+		}
+		if !bytes.Equal(pkt, batch[i]) {
+			t.Fatalf("packet %d differs (reordered or corrupted)", i)
+		}
+	}
+}
+
+// TestSendBatchIsolatesSubscriberErrors: one broken destination must not
+// starve the other subscribers of the batch, and the error must still
+// surface to the caller.
+func TestSendBatchIsolatesSubscriberErrors(t *testing.T) {
+	s, err := NewUDPServer("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	bad := netip.MustParseAddrPort("127.0.0.1:19021")
+	good := netip.MustParseAddrPort("127.0.0.1:19022")
+	subscribeDirect(s, 0xDF98, 0, bad)
+	subscribeDirect(s, 0xDF98, 0, good)
+	goodGot := 0
+	s.batchPortable = true
+	s.writeOne = func(pkt []byte, to netip.AddrPort) error {
+		if to == bad {
+			return fmt.Errorf("destination unreachable")
+		}
+		goodGot++
+		return nil
+	}
+	batch := [][]byte{
+		testPacket(0xDF98, 0, 1, nil),
+		testPacket(0xDF98, 0, 2, nil),
+		testPacket(0xDF98, 0, 3, nil),
+	}
+	if err := s.SendBatch(0, batch); err == nil {
+		t.Fatal("subscriber write failure not surfaced")
+	}
+	if goodGot != len(batch) {
+		t.Fatalf("healthy subscriber got %d of %d packets", goodGot, len(batch))
+	}
+	// The per-packet path must isolate the same way.
+	goodGot = 0
+	if err := s.Send(0, batch[0]); err == nil {
+		t.Fatal("Send: subscriber write failure not surfaced")
+	}
+	if goodGot != 1 {
+		t.Fatalf("Send: healthy subscriber got %d of 1 packets", goodGot)
+	}
+}
+
+// TestSendBatchEmptyPackets: headerless and empty packets are documented
+// valid input (they route to wildcard subscribers); the kernel batch path
+// must carry them without panicking.
+func TestSendBatchEmptyPackets(t *testing.T) {
+	s, err := NewUDPServer("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := NewUDPClient(s.Addr(), 0) // wildcard subscription
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Subscribers(0) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	batch := [][]byte{{}, []byte("short"), {}}
+	if err := s.SendBatch(0, batch); err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range batch {
+		pkt, ok := c.Recv(5 * time.Second)
+		if !ok {
+			t.Fatalf("receive timed out at packet %d", i)
+		}
+		if !bytes.Equal(pkt, want) {
+			t.Fatalf("packet %d: got %q want %q", i, pkt, want)
+		}
+	}
+}
+
+// TestBusSendBatch: the in-proc bus must deliver a batch in Send-identical
+// order, and Send/SendBatch must be interchangeable.
+func TestBusSendBatch(t *testing.T) {
+	b := NewBus(2)
+	var got []uint32
+	cl := b.NewClient(1, nil, func(layer int, pkt []byte) {
+		h, _, err := proto.ParseHeader(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got = append(got, h.Serial)
+	})
+	defer cl.Close()
+	batch := [][]byte{
+		testPacket(1, 0, 10, nil),
+		testPacket(1, 0, 11, nil),
+		testPacket(1, 0, 12, nil),
+	}
+	if err := b.SendBatch(0, batch); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.SendBatch(5, batch); err == nil {
+		t.Fatal("out-of-range layer accepted")
+	}
+	if err := b.Send(0, testPacket(1, 0, 13, nil)); err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{10, 11, 12, 13}
+	if len(got) != len(want) {
+		t.Fatalf("delivered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("delivered %v, want %v", got, want)
+		}
+	}
+}
+
+// sendOnly is a PacketSender that is deliberately not batch-capable.
+type sendOnly struct{ calls [][]byte }
+
+func (s *sendOnly) Send(layer int, pkt []byte) error { s.calls = append(s.calls, pkt); return nil }
+
+// TestAsSender: batch-capable senders pass through untouched; bare
+// PacketSenders gain a SendBatch loop preserving order.
+func TestAsSender(t *testing.T) {
+	bus := NewBus(1)
+	if AsSender(bus) != Sender(bus) {
+		t.Fatal("batch-capable sender was wrapped")
+	}
+	so := &sendOnly{}
+	up := AsSender(so)
+	batch := [][]byte{{1}, {2}, {3}}
+	if err := up.SendBatch(0, batch); err != nil {
+		t.Fatal(err)
+	}
+	if len(so.calls) != 3 || &so.calls[0][0] != &batch[0][0] || &so.calls[2][0] != &batch[2][0] {
+		t.Fatal("fallback loop dropped or copied packets")
+	}
+}
+
+// TestBufPool: buffers are reused, grow to the largest requested size,
+// and Get after Put returns zero-length slices ready to append into.
+func TestBufPool(t *testing.T) {
+	p := NewBufPool()
+	b := p.Get(64)
+	if len(b.B) != 0 || cap(b.B) < 64 {
+		t.Fatalf("Get(64): len=%d cap=%d", len(b.B), cap(b.B))
+	}
+	b.B = append(b.B, bytes.Repeat([]byte{0xAB}, 64)...)
+	p.Put(b)
+	b2 := p.Get(32)
+	if len(b2.B) != 0 {
+		t.Fatalf("recycled buffer has len %d, want 0", len(b2.B))
+	}
+	b2.B = append(b2.B, 1)
+	p.Put(b2)
+	big := p.Get(4096)
+	if cap(big.B) < 4096 {
+		t.Fatalf("Get(4096) returned cap %d", cap(big.B))
+	}
+	p.Put(big)
+	allocs := testing.AllocsPerRun(1000, func() {
+		b := p.Get(4096)
+		b.B = append(b.B, 0xFF)
+		p.Put(b)
+	})
+	// sync.Pool may shed entries across GC cycles; steady state must be
+	// essentially allocation-free.
+	if allocs > 0.1 {
+		t.Fatalf("pooled Get/Put allocates %.2f times per cycle", allocs)
+	}
+}

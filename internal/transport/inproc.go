@@ -18,7 +18,11 @@ import (
 	"repro/internal/netsim"
 )
 
-// Handler consumes packets delivered on a subscribed layer.
+// Handler consumes packets delivered on a subscribed layer. pkt is only
+// valid for the duration of the call: senders on the zero-alloc send path
+// reuse their pooled buffers as soon as Send/SendBatch returns, so a
+// handler that keeps packet bytes must copy them (every decoder in this
+// repository already copies on Add).
 type Handler func(layer int, pkt []byte)
 
 // Bus is the in-process lossy multicast substrate.
@@ -26,11 +30,24 @@ type Bus struct {
 	layers int
 	mu     sync.Mutex
 	subs   map[*BusClient]struct{}
+	// snap is a copy-on-write snapshot of subs, rebuilt on subscription
+	// changes and never mutated afterwards: senders read it without
+	// allocating, so the batched send path stays zero-alloc end to end.
+	snap []*BusClient
 }
 
 // NewBus creates a bus with the given number of layers (groups).
 func NewBus(layers int) *Bus {
 	return &Bus{layers: layers, subs: make(map[*BusClient]struct{})}
+}
+
+// resnap rebuilds the immutable subscriber snapshot; callers hold b.mu.
+func (b *Bus) resnap() {
+	snap := make([]*BusClient, 0, len(b.subs))
+	for c := range b.subs {
+		snap = append(snap, c)
+	}
+	b.snap = snap
 }
 
 // Layers returns the group count.
@@ -44,13 +61,29 @@ func (b *Bus) Send(layer int, pkt []byte) error {
 		return fmt.Errorf("transport: layer %d out of range", layer)
 	}
 	b.mu.Lock()
-	clients := make([]*BusClient, 0, len(b.subs))
-	for c := range b.subs {
-		clients = append(clients, c)
-	}
+	clients := b.snap
 	b.mu.Unlock()
 	for _, c := range clients {
 		c.deliver(layer, pkt)
+	}
+	return nil
+}
+
+// SendBatch delivers a batch of packets on a layer, in order, to every
+// subscribed client — one subscriber-set snapshot for the whole batch.
+// Delivery order is identical to calling Send per packet, so the batched
+// and per-packet paths are interchangeable for deterministic experiments.
+func (b *Bus) SendBatch(layer int, pkts [][]byte) error {
+	if layer < 0 || layer >= b.layers {
+		return fmt.Errorf("transport: layer %d out of range", layer)
+	}
+	b.mu.Lock()
+	clients := b.snap
+	b.mu.Unlock()
+	for _, pkt := range pkts {
+		for _, c := range clients {
+			c.deliver(layer, pkt)
+		}
 	}
 	return nil
 }
@@ -72,6 +105,7 @@ func (b *Bus) NewClient(level int, loss netsim.LossProcess, h Handler) *BusClien
 	c := &BusClient{bus: b, level: level, loss: loss, handler: h}
 	b.mu.Lock()
 	b.subs[c] = struct{}{}
+	b.resnap()
 	b.mu.Unlock()
 	return c
 }
@@ -110,6 +144,7 @@ func (c *BusClient) Level() int {
 func (c *BusClient) Close() {
 	c.bus.mu.Lock()
 	delete(c.bus.subs, c)
+	c.bus.resnap()
 	c.bus.mu.Unlock()
 	c.mu.Lock()
 	c.closed = true

@@ -4,7 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
+	"syscall"
 	"time"
 
 	"repro/internal/proto"
@@ -33,19 +35,40 @@ type subKey struct {
 }
 
 // UDPServer owns the data socket and the per-(session, layer) subscriber
-// sets. It satisfies server.Sender: Send(layer, pkt) parses the session id
-// out of the packet header and unicasts to that session's subscribers plus
-// any wildcard subscribers — so one socket serves a whole multi-session
-// service with no per-session sockets.
+// sets. It satisfies the unified transport.Sender: Send(layer, pkt) parses
+// the session id out of the packet header and unicasts to that session's
+// subscribers plus any wildcard subscribers — so one socket serves a whole
+// multi-session service with no per-session sockets. SendBatch fans a
+// per-layer batch out with one routing pass and per-subscriber write
+// coalescing (sendmmsg on Linux, a portable write loop elsewhere).
+//
+// Every packet buffer is encoded exactly once and the same bytes are
+// handed to the kernel for every subscriber; nothing on the fan-out path
+// copies packet data.
 type UDPServer struct {
 	conn     *net.UDPConn
 	layers   int
 	mu       sync.Mutex
-	subs     map[subKey]map[string]*net.UDPAddr
+	subs     map[subKey]map[netip.AddrPort]struct{}
 	done     chan struct{}
 	loopDone chan struct{}
 	closing  sync.Once
 	closeErr error
+
+	// sendMu serializes the fan-out scratch below. Writes on one UDP
+	// socket serialize in the kernel anyway, so this costs no parallelism
+	// and keeps steady-state sends allocation-free.
+	sendMu   sync.Mutex
+	addrBuf  []netip.AddrPort
+	v4Socket bool            // data socket is AF_INET: the sendmmsg fast path applies
+	rawConn  syscall.RawConn // cached once: SyscallConn allocates per call
+
+	// writeOne is the single-datagram write, overridable by tests to
+	// observe the exact buffers handed to the kernel (see the buffer
+	// identity regression test). batchPortable forces the portable write
+	// loop even where a kernel batch syscall is available.
+	writeOne      func(pkt []byte, to netip.AddrPort) error
+	batchPortable bool
 }
 
 // NewUDPServer listens on addr (e.g. "127.0.0.1:0") and serves `layers`
@@ -62,10 +85,18 @@ func NewUDPServer(addr string, layers int) (*UDPServer, error) {
 	s := &UDPServer{
 		conn:     conn,
 		layers:   layers,
-		subs:     make(map[subKey]map[string]*net.UDPAddr),
+		subs:     make(map[subKey]map[netip.AddrPort]struct{}),
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
+		v4Socket: conn.LocalAddr().(*net.UDPAddr).IP.To4() != nil,
 	}
+	s.writeOne = func(pkt []byte, to netip.AddrPort) error {
+		_, err := s.conn.WriteToUDPAddrPort(pkt, to)
+		return err
+	}
+	// A nil rawConn (a SyscallConn failure) just disables the kernel
+	// batch fast path; the portable loop covers everything.
+	s.rawConn, _ = conn.SyscallConn()
 	go s.membershipLoop()
 	return s, nil
 }
@@ -77,7 +108,7 @@ func (s *UDPServer) membershipLoop() {
 	defer close(s.loopDone)
 	buf := make([]byte, 64)
 	for {
-		n, from, err := s.conn.ReadFromUDP(buf)
+		n, from, err := s.conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			select {
 			case <-s.done:
@@ -96,17 +127,19 @@ func (s *UDPServer) membershipLoop() {
 			if n >= 7 {
 				session = uint16(buf[5])<<8 | uint16(buf[6])
 			}
+			// Unmap 4-in-6 forms so one client always keys identically.
+			addr := netip.AddrPortFrom(from.Addr().Unmap(), from.Port())
 			key := subKey{session, uint8(layer)}
 			s.mu.Lock()
 			if join {
 				set := s.subs[key]
 				if set == nil {
-					set = make(map[string]*net.UDPAddr)
+					set = make(map[netip.AddrPort]struct{})
 					s.subs[key] = set
 				}
-				set[from.String()] = from
+				set[addr] = struct{}{}
 			} else if set := s.subs[key]; set != nil {
-				delete(set, from.String())
+				delete(set, addr)
 				if len(set) == 0 {
 					delete(s.subs, key)
 				}
@@ -116,44 +149,112 @@ func (s *UDPServer) membershipLoop() {
 	}
 }
 
-// Send unicasts pkt to every subscriber of the packet's (session, layer):
-// the session id is read from the proto header, and wildcard subscribers of
-// the layer receive every session. Packets too short to carry a header go
-// to wildcard subscribers only.
-func (s *UDPServer) Send(layer int, pkt []byte) error {
-	if layer < 0 || layer >= s.layers {
-		return fmt.Errorf("transport: layer %d out of range", layer)
-	}
-	session := SessionAny
-	if h, _, err := proto.ParseHeader(pkt); err == nil {
-		session = h.Session
-	}
+// gatherAddrs collects the destination set of one (session, layer) into
+// dst: that session's subscribers plus the layer's wildcard subscribers,
+// deduplicated. Callers hold s.sendMu (dst is the server's scratch).
+func (s *UDPServer) gatherAddrs(dst []netip.AddrPort, session uint16, layer int) []netip.AddrPort {
 	s.mu.Lock()
 	wild := s.subs[subKey{SessionAny, uint8(layer)}]
-	var specific map[string]*net.UDPAddr
+	var specific map[netip.AddrPort]struct{}
 	if session != SessionAny {
 		specific = s.subs[subKey{session, uint8(layer)}]
 	}
-	addrs := make([]*net.UDPAddr, 0, len(wild)+len(specific))
-	for _, ua := range wild {
-		addrs = append(addrs, ua)
+	for a := range wild {
+		dst = append(dst, a)
 	}
-	for a, ua := range specific {
+	for a := range specific {
 		// Dedup against wildcard only when both sets are live (rare).
 		if len(wild) > 0 {
 			if _, dup := wild[a]; dup {
 				continue
 			}
 		}
-		addrs = append(addrs, ua)
+		dst = append(dst, a)
 	}
 	s.mu.Unlock()
+	return dst
+}
+
+// packetSession reads the routing session id out of a packet: packets too
+// short to carry a header route to wildcard subscribers only.
+func packetSession(pkt []byte) uint16 {
+	if h, _, err := proto.ParseHeader(pkt); err == nil {
+		return h.Session
+	}
+	return SessionAny
+}
+
+// Send unicasts pkt to every subscriber of the packet's (session, layer):
+// the session id is read from the proto header, and wildcard subscribers of
+// the layer receive every session. The packet is encoded once; the same
+// buffer is written to each subscriber. As in SendBatch, errors are
+// isolated per subscriber — every destination is attempted, the first
+// error is returned afterwards.
+func (s *UDPServer) Send(layer int, pkt []byte) error {
+	if layer < 0 || layer >= s.layers {
+		return fmt.Errorf("transport: layer %d out of range", layer)
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	addrs := s.gatherAddrs(s.addrBuf[:0], packetSession(pkt), layer)
+	s.addrBuf = addrs[:0]
+	var first error
 	for _, a := range addrs {
-		if _, err := s.conn.WriteToUDP(pkt, a); err != nil {
-			return err
+		if err := s.writeOne(pkt, a); err != nil && first == nil {
+			first = err
 		}
 	}
-	return nil
+	return first
+}
+
+// SendBatch unicasts a batch of packets on one layer: the batch is routed
+// in runs of identical session ids (one subscriber-set gather per run —
+// a carousel round's batch is a single run), and each subscriber's writes
+// are coalesced (sendmmsg where available, a portable loop elsewhere).
+// Buffers are handed to the kernel as-is: one encode, many writes, no
+// copies; they may be reused as soon as SendBatch returns.
+//
+// Errors are isolated per subscriber: a broken destination (firewalled,
+// buffer-exhausted) forfeits at most its own remainder of the batch,
+// every other subscriber still receives everything, and the first error
+// is returned at the end — so one bad receiver cannot starve the rest of
+// the fan-out.
+func (s *UDPServer) SendBatch(layer int, pkts [][]byte) error {
+	if layer < 0 || layer >= s.layers {
+		return fmt.Errorf("transport: layer %d out of range", layer)
+	}
+	s.sendMu.Lock()
+	defer s.sendMu.Unlock()
+	var first error
+	for lo := 0; lo < len(pkts); {
+		session := packetSession(pkts[lo])
+		hi := lo + 1
+		for hi < len(pkts) && packetSession(pkts[hi]) == session {
+			hi++
+		}
+		addrs := s.gatherAddrs(s.addrBuf[:0], session, layer)
+		s.addrBuf = addrs[:0]
+		for _, a := range addrs {
+			if err := s.writeBatchTo(pkts[lo:hi], a); err != nil && first == nil {
+				first = err
+			}
+		}
+		lo = hi
+	}
+	return first
+}
+
+// writePortable is the substrate-independent per-subscriber batch write.
+// Per-packet errors are isolated (every packet is attempted; the first
+// error is returned), matching the pre-batching per-packet send path.
+func (s *UDPServer) writePortable(pkts [][]byte, to netip.AddrPort) error {
+	var first error
+	for _, pkt := range pkts {
+		if err := s.writeOne(pkt, to); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 // Subscribers returns the number of distinct addresses subscribed to a
@@ -164,7 +265,7 @@ func (s *UDPServer) Subscribers(layer int) int {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	seen := make(map[string]struct{})
+	seen := make(map[netip.AddrPort]struct{})
 	for key, set := range s.subs {
 		if key.layer == uint8(layer) {
 			for a := range set {

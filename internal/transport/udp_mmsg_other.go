@@ -1,0 +1,11 @@
+//go:build !(linux && amd64)
+
+package transport
+
+import "net/netip"
+
+// writeBatchTo without a kernel batch syscall: the portable per-datagram
+// write loop. The buffers are still encoded once and written as-is.
+func (s *UDPServer) writeBatchTo(pkts [][]byte, to netip.AddrPort) error {
+	return s.writePortable(pkts, to)
+}
