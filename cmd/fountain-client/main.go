@@ -53,6 +53,10 @@ func main() {
 		sessArg  = flag.String("session", "", "session id to fetch (e.g. 0xDF98); empty = server default")
 		all      = flag.Bool("all", false, "fetch every session in the catalog concurrently")
 		list     = flag.Bool("list", false, "print the catalog and exit")
+		attempts = flag.Int("ctrl-attempts", 5, "control request attempts before giving up")
+		ctrlTO   = flag.Duration("ctrl-timeout", 2*time.Second, "per-attempt control reply timeout")
+		rejoinIv = flag.Duration("rejoin", 3*time.Second, "resubscribe to a mirror silent for this long (0 = never)")
+		stall    = flag.Duration("stall", 45*time.Second, "abort when no mirror delivers anything for this long")
 	)
 	flag.Var(&servers, "server", "mirror data address carrying the same session (repeatable)")
 	flag.Parse()
@@ -74,8 +78,14 @@ func main() {
 		}
 	}
 
+	// Control requests run through a bounded, jittered retry loop: a slow
+	// or restarting server is probed a few more times, a dead one fails
+	// fast instead of hanging the startup.
+	policy := transport.RetryPolicy{Attempts: *attempts, Timeout: *ctrlTO}
+	opts := dlOpts{level: *level, timeout: *timeout, rejoin: *rejoinIv, stall: *stall}
+
 	if *list || *all {
-		reply, err := transport.RequestSessionInfo(ctrl, proto.MarshalCatalogRequest(), 5*time.Second)
+		reply, err := transport.RequestSessionInfoRetry(ctrl, proto.MarshalCatalogRequest(), policy)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -101,7 +111,7 @@ func main() {
 			go func(info proto.SessionInfo) {
 				defer wg.Done()
 				name := fmt.Sprintf("%s.%04x", *out, info.Session)
-				if err := download(info, mirrors, name, *level, *timeout); err != nil {
+				if err := download(info, mirrors, name, opts); err != nil {
 					failed <- fmt.Errorf("session %#x: %w", info.Session, err)
 				}
 			}(info)
@@ -127,7 +137,7 @@ func main() {
 		}
 		hello = proto.MarshalHelloFor(uint16(id))
 	}
-	reply, err := transport.RequestSessionInfo(ctrl, hello, 5*time.Second)
+	reply, err := transport.RequestSessionInfoRetry(ctrl, hello, policy)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -143,16 +153,25 @@ func main() {
 	}
 	fmt.Printf("fountain-client: session %#x codec=%d k=%d n=%d layers=%d file=%d bytes (%d mirrors)\n",
 		info.Session, info.Codec, info.K, info.N, info.Layers, info.FileLen, len(mirrors))
-	if err := download(info, mirrors, *out, *level, *timeout); err != nil {
+	if err := download(info, mirrors, *out, opts); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// dlOpts bundles the download loop's robustness knobs.
+type dlOpts struct {
+	level   int
+	timeout time.Duration
+	rejoin  time.Duration // resubscribe to a mirror silent this long
+	stall   time.Duration // abort when every mirror is silent this long
 }
 
 // download fetches one session from every mirror at once and writes the
 // reconstructed file. Each concurrent download has independent sockets,
 // decoder, and congestion controllers — no server keeps state for any of
 // them, and the mirrors never hear of each other.
-func download(info proto.SessionInfo, mirrors []*net.UDPAddr, out string, level int, timeout time.Duration) error {
+func download(info proto.SessionInfo, mirrors []*net.UDPAddr, out string, o dlOpts) error {
+	level := o.level
 	if level >= int(info.Layers) {
 		level = int(info.Layers) - 1
 	}
@@ -169,17 +188,42 @@ func download(info proto.SessionInfo, mirrors []*net.UDPAddr, out string, level 
 	if err != nil {
 		return err
 	}
-	deadline := time.Now().Add(timeout)
+	// Silent-mirror watchdog: a mirror that delivered nothing for a whole
+	// rejoin interval may have crashed and restarted with an empty
+	// membership table, so its subscriptions are re-sent (idempotent on a
+	// healthy server). When every mirror stays silent past the stall bound
+	// the download aborts instead of spinning until the global timeout.
+	deadline := time.Now().Add(o.timeout)
+	lastAny := time.Now()
+	lastSeen := make([]int, len(mirrors))
+	nextRejoin := time.Now().Add(o.rejoin)
 	for !eng.Done() {
 		if time.Now().After(deadline) {
-			return fmt.Errorf("timed out after %v", timeout)
+			return fmt.Errorf("timed out after %v", o.timeout)
 		}
-		src, pkt, ok := mc.Recv(2 * time.Second)
-		if !ok {
-			continue
+		src, pkt, ok := mc.Recv(500 * time.Millisecond)
+		if ok {
+			lastAny = time.Now()
+			if _, err := eng.HandlePacketFrom(src, pkt); err != nil {
+				continue // stray datagram
+			}
 		}
-		if _, err := eng.HandlePacketFrom(src, pkt); err != nil {
-			continue // stray datagram
+		if o.stall > 0 && time.Since(lastAny) > o.stall {
+			return fmt.Errorf("no data from any of %d mirrors for %v", len(mirrors), o.stall)
+		}
+		if o.rejoin > 0 && time.Now().After(nextRejoin) {
+			for _, s := range eng.Sources() {
+				st := eng.SourceStats(s)
+				got := st.Received + st.Corrupt
+				if got == lastSeen[s] {
+					if err := mc.Rejoin(s); err == nil {
+						log.Printf("session %#x: mirror %d (%s) silent for %v, resubscribed",
+							info.Session, s, mirrors[s], o.rejoin)
+					}
+				}
+				lastSeen[s] = got
+			}
+			nextRejoin = time.Now().Add(o.rejoin)
 		}
 	}
 	file, err := eng.File()
@@ -190,13 +234,13 @@ func download(info proto.SessionInfo, mirrors []*net.UDPAddr, out string, level 
 		return err
 	}
 	eta, etaC, etaD := eng.Efficiency()
-	fmt.Printf("fountain-client: wrote %s (%d bytes); loss=%.1f%% eta=%.3f eta_c=%.3f eta_d=%.3f level=%d\n",
-		out, len(file), 100*eng.MeasuredLoss(), eta, etaC, etaD, eng.Level())
+	fmt.Printf("fountain-client: wrote %s (%d bytes); loss=%.1f%% corrupt=%d eta=%.3f eta_c=%.3f eta_d=%.3f level=%d\n",
+		out, len(file), 100*eng.MeasuredLoss(), eng.Corrupt(), eta, etaC, etaD, eng.Level())
 	if len(mirrors) > 1 {
 		for _, src := range eng.Sources() {
 			st := eng.SourceStats(src)
-			fmt.Printf("  mirror %d (%s): recv=%d distinct=%d dup=%d loss=%.1f%% level=%d\n",
-				src, mirrors[src], st.Received, st.Distinct, st.Duplicate, 100*st.Loss, st.Level)
+			fmt.Printf("  mirror %d (%s): recv=%d distinct=%d dup=%d corrupt=%d loss=%.1f%% level=%d\n",
+				src, mirrors[src], st.Received, st.Distinct, st.Duplicate, st.Corrupt, 100*st.Loss, st.Level)
 		}
 	}
 	return nil

@@ -53,6 +53,10 @@ func main() {
 		phase    = flag.Int("phase", 0, "carousel start round, advertised to clients (mirrors of one file stagger theirs, §8)")
 		cacheB   = flag.Int64("cache", 64<<20, "shared lazy-encoding cache budget, bytes")
 		statsSec = flag.Int("stats", 30, "seconds between stats lines (0 = never)")
+		maxSess  = flag.Int("max-sessions", 0, "session registry cap (0 = unlimited)")
+		maxSubs  = flag.Int("max-subs", 0, "distinct subscriber address cap (0 = unlimited)")
+		maxPPS   = flag.Int("max-pps", 0, "per-subscriber packets/second cap (0 = uncapped)")
+		evictN   = flag.Int("evict-after", 8, "consecutive write errors before a subscriber is evicted")
 	)
 	flag.Var(&files, "file", "file to distribute (repeatable)")
 	flag.Parse()
@@ -75,8 +79,14 @@ func main() {
 		log.Fatal(err)
 	}
 	defer udp.Close()
+	udp.SetLimits(transport.UDPLimits{
+		MaxSubscribers: *maxSubs,
+		EvictAfter:     *evictN,
+		MaxPPS:         *maxPPS,
+		Log:            log.Printf,
+	})
 
-	svc := service.New(udp, service.Config{CacheBytes: *cacheB, BaseRate: *rate})
+	svc := service.New(udp, service.Config{CacheBytes: *cacheB, BaseRate: *rate, MaxSessions: *maxSess})
 	defer svc.Close()
 
 	for i, file := range files {
@@ -141,7 +151,15 @@ func main() {
 		}()
 	}
 	<-ctx.Done()
-	fmt.Println("fountain-server: shutting down")
+	// Graceful drain: stop admitting sessions, let every in-flight round
+	// finish, join the shard workers — then tear the sockets down. Clients
+	// mid-download lose nothing they can't re-harvest from a mirror.
+	fmt.Println("fountain-server: draining (no new sessions, finishing in-flight rounds)")
+	svc.Drain()
+	s := svc.Stats()
+	h := udp.Hardening()
+	fmt.Printf("fountain-server: drained; pkts=%d bytes=%d errs=%d evictions=%d refused-joins=%d rate-dropped=%d\n",
+		s.PacketsSent, s.BytesSent, s.SendErrors, h.Evictions, h.RefusedJoins, h.RateDropped)
 }
 
 func codecByName(name string) (uint8, error) {

@@ -267,6 +267,28 @@ func NewMultiClient(servers []*net.UDPAddr, session uint16, level int) (*MultiCl
 // SessionAny is the wildcard session id for UDP subscriptions.
 const SessionAny = transport.SessionAny
 
+// UDPLimits is a UDP server's admission-control and abuse policy: a cap
+// on distinct subscriber addresses, eviction of subscribers whose writes
+// keep failing (with a cooldown penalty box), and an optional
+// per-subscriber packets-per-second token bucket. Apply with
+// UDPServer.SetLimits; inspect the counters with UDPServer.Hardening.
+type UDPLimits = transport.UDPLimits
+
+// UDPHardening is the snapshot of a UDP server's policy counters:
+// evictions, refused joins, and rate-capped drops.
+type UDPHardening = transport.UDPHardening
+
+// RetryPolicy bounds a control-plane request: per-attempt timeout and a
+// jittered exponential backoff between attempts, so clients fail fast
+// against dead servers and still reach slow or restarting ones.
+type RetryPolicy = transport.RetryPolicy
+
+// RequestSessionInfoRetry sends a control request under a RetryPolicy.
+// The zero policy means 5 attempts, 500ms timeout, 100ms base backoff.
+func RequestSessionInfoRetry(ctrl *net.UDPAddr, req []byte, p RetryPolicy) ([]byte, error) {
+	return transport.RequestSessionInfoRetry(ctrl, req, p)
+}
+
 // Service is the multi-session fountain server core: a registry of
 // concurrent sessions over one transport, all driven by one shared pacing
 // scheduler (a deadline heap per shard worker — no per-session
@@ -281,6 +303,17 @@ type ServiceConfig = service.Config
 
 // ServiceStats is a snapshot of a Service's counters.
 type ServiceStats = service.Stats
+
+// Admission-control errors from Service session registration.
+var (
+	// ErrSessionLimit is returned when ServiceConfig.MaxSessions is
+	// reached; freeing a slot (Service.Remove) admits again.
+	ErrSessionLimit = service.ErrSessionLimit
+	// ErrDraining is returned once Service.Drain has begun: the service
+	// finishes in-flight rounds and keeps answering control probes, but
+	// registers nothing new.
+	ErrDraining = service.ErrDraining
+)
 
 // NewService creates a service transmitting on tx — any PacketSender
 // works; batch-capable transports (Bus, UDPServer) receive whole

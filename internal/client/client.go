@@ -33,6 +33,7 @@ type Leveler func(level int)
 type SourceStats struct {
 	Received  int     // packets accepted from this source
 	Lost      int     // packets counted lost from serial gaps on this source
+	Corrupt   int     // packets dropped for a failed integrity tag on this source
 	Distinct  int     // packets that were new to the decoder
 	Duplicate int     // packets the decoder had already seen (from any source)
 	Loss      float64 // Lost / (Received + Lost)
@@ -47,6 +48,7 @@ type source struct {
 	ctrl       *layered.Controller
 	received   int
 	lost       int
+	corrupt    int
 	distinct   int
 	duplicate  int
 }
@@ -171,11 +173,27 @@ func (e *Engine) HandlePacket(pkt []byte) (done bool, err error) {
 
 // HandlePacketFrom ingests one wire packet received from the given source.
 // Unknown source ids are registered on first use (their controller starts
-// at the current effective level). Malformed or foreign packets return an
-// error and are not counted. It returns done=true once the file is
-// decodable.
+// at the current effective level). The integrity trailer is verified
+// before anything else: a corrupted packet is dropped before any byte
+// reaches serial accounting or the decoder, counted per source
+// (SourceStats.Corrupt), and returns no error — on a hostile channel
+// corruption is an expected condition, like loss, not a client failure.
+// Malformed or foreign packets return an error and are not counted. It
+// returns done=true once the file is decodable.
 func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
-	h, payload, err := proto.ParseHeader(pkt)
+	body, err := proto.VerifyPacket(pkt)
+	if err == proto.ErrBadTag {
+		s := e.sources[src]
+		if s == nil {
+			s = e.addSource(src, e.level)
+		}
+		s.corrupt++
+		return e.rcv.Done(), nil
+	}
+	if err != nil {
+		return e.rcv.Done(), err
+	}
+	h, payload, err := proto.ParseHeader(body)
 	if err != nil {
 		return e.rcv.Done(), err
 	}
@@ -301,6 +319,7 @@ func (e *Engine) SourceStats(id int) SourceStats {
 	st := SourceStats{
 		Received:  s.received,
 		Lost:      s.lost,
+		Corrupt:   s.corrupt,
 		Distinct:  s.distinct,
 		Duplicate: s.duplicate,
 		Level:     s.ctrl.Level(),
@@ -322,6 +341,16 @@ func (e *Engine) WorstSource() (id int, loss float64) {
 		}
 	}
 	return id, loss
+}
+
+// Corrupt returns the total number of packets dropped for failed
+// integrity tags, aggregated across all sources.
+func (e *Engine) Corrupt() int {
+	var n int
+	for _, s := range e.sources {
+		n += s.corrupt
+	}
+	return n
 }
 
 // MeasuredLoss returns the packet loss rate observed over the download,

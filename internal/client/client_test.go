@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/proto"
 	"repro/internal/server"
 	"repro/internal/transport"
 )
@@ -153,13 +154,29 @@ func TestRejectsForeignPackets(t *testing.T) {
 	cfg.Layers = 1
 	sess, _ := core.NewSession(data, cfg)
 	eng, _ := New(sess.Info(), 0, nil)
+	// A foreign-session packet with a *valid* integrity tag: re-tag after
+	// flipping the session id, so it is the session check that must reject.
 	pkt := sess.Packet(0, 0, 1, 0)
 	pkt[10] ^= 0x55
+	pkt = proto.AppendTag(pkt[:len(pkt)-proto.TagLen])
 	if _, err := eng.HandlePacket(pkt); err == nil {
 		t.Fatal("foreign packet accepted")
 	}
 	if _, err := eng.HandlePacket([]byte{1}); err == nil {
 		t.Fatal("short packet accepted")
+	}
+	// A corrupted packet (bad tag) is not an error — it is dropped before
+	// any accounting and counted per source, like loss on a bad channel.
+	bad := sess.Packet(0, 0, 2, 0)
+	bad[proto.HeaderLen] ^= 0xFF
+	if _, err := eng.HandlePacket(bad); err != nil {
+		t.Fatalf("corrupted packet returned error: %v", err)
+	}
+	if got := eng.SourceStats(0).Corrupt; got != 1 {
+		t.Fatalf("Corrupt = %d, want 1", got)
+	}
+	if total, _, _ := eng.Stats(); total != 0 {
+		t.Fatalf("corrupted packet reached the decoder: total=%d", total)
 	}
 }
 

@@ -12,6 +12,7 @@
 package core
 
 import (
+	"crypto/sha256"
 	"fmt"
 	"math"
 	"math/rand"
@@ -80,6 +81,7 @@ type Session struct {
 	enc      [][]byte // full encoding; nil when lazy
 	fileLen  int
 	fileHash uint64
+	digest   [32]byte // SHA-256 of the file, advertised for end-to-end verification
 	sched    *sched.Schedule
 	perm     []int // randomized carousel order for single-layer mode (nil when rateless)
 
@@ -213,6 +215,7 @@ func NewSessionCached(data []byte, cfg Config, cache *BlockCache) (*Session, err
 		codec:    codec,
 		fileLen:  len(data),
 		fileHash: proto.FNV64a(data),
+		digest:   sha256.Sum256(data),
 		sched:    sc,
 	}
 	if code.IsRateless(codec) {
@@ -361,6 +364,7 @@ func (s *Session) Info() proto.SessionInfo {
 		Seed:       s.cfg.Seed,
 		SPInterval: uint32(s.cfg.SPInterval),
 		FileHash:   s.fileHash,
+		Digest:     s.digest,
 	}
 	if s.cfg.Codec == proto.CodecInterleaved {
 		bk := s.cfg.InterleaveBlockK
@@ -381,11 +385,12 @@ func (s *Session) Packet(idx int, layer uint8, serial uint32, flags uint8) []byt
 	return s.AppendPacket(make([]byte, 0, s.WireLen()), idx, layer, serial, flags)
 }
 
-// AppendPacket appends the wire form (header + payload) of encoding packet
-// idx to dst and returns the extended slice — the zero-copy form of Packet
-// for senders that build packets in pooled buffers. With cap(dst) >=
-// WireLen() and an eagerly encoded (or cache-resident) payload, the call
-// allocates nothing.
+// AppendPacket appends the wire form (header + payload + integrity
+// trailer) of encoding packet idx to dst and returns the extended slice —
+// the zero-copy form of Packet for senders that build packets in pooled
+// buffers. With cap(dst) >= WireLen() and an eagerly encoded (or
+// cache-resident) payload, the call allocates nothing: the CRC32C trailer
+// is a hardware checksum plus four appended bytes.
 func (s *Session) AppendPacket(dst []byte, idx int, layer uint8, serial uint32, flags uint8) []byte {
 	h := proto.Header{
 		Index:   uint32(idx),
@@ -394,14 +399,17 @@ func (s *Session) AppendPacket(dst []byte, idx int, layer uint8, serial uint32, 
 		Flags:   flags,
 		Session: s.cfg.Session,
 	}
+	base := len(dst)
 	dst = h.Marshal(dst)
-	return append(dst, s.Payload(idx)...)
+	dst = append(dst, s.Payload(idx)...)
+	sum := proto.Tag(dst[base:])
+	return append(dst, byte(sum>>24), byte(sum>>16), byte(sum>>8), byte(sum))
 }
 
 // WireLen returns the on-the-wire size of every packet of the session:
-// the 12-byte header plus the (padded) payload length. Senders size their
-// packet buffers with it.
-func (s *Session) WireLen() int { return proto.HeaderLen + s.cfg.PacketLen }
+// the 12-byte header plus the (padded) payload length plus the 4-byte
+// integrity trailer. Senders size their packet buffers with it.
+func (s *Session) WireLen() int { return proto.HeaderLen + s.cfg.PacketLen + proto.TagLen }
 
 // CarouselIndices returns the encoding indices transmitted on `layer`
 // during `round`. In single-layer mode this walks the seeded random
@@ -510,11 +518,13 @@ func NewReceiver(info proto.SessionInfo) (*Receiver, error) {
 	return &Receiver{info: info, dec: codec.NewDecoder()}, nil
 }
 
-// HandleRaw ingests one wire packet (header + payload). Packets from other
-// sessions or with malformed headers are rejected with an error; duplicates
-// are counted but ignored. It reports whether the file is now decodable.
+// HandleRaw ingests one wire packet (header + payload + integrity
+// trailer). Corrupted packets (proto.ErrBadTag), packets from other
+// sessions, and malformed headers are rejected with an error before any
+// byte reaches the decoder; duplicates are counted but ignored. It reports
+// whether the file is now decodable.
 func (r *Receiver) HandleRaw(pkt []byte) (bool, error) {
-	h, payload, err := proto.ParseHeader(pkt)
+	h, payload, err := proto.ParsePacket(pkt)
 	if err != nil {
 		return r.done, err
 	}
@@ -559,6 +569,14 @@ func (r *Receiver) File() ([]byte, error) {
 	}
 	if got := proto.FNV64a(data); got != r.info.FileHash {
 		return nil, fmt.Errorf("core: file hash mismatch: got %#x want %#x", got, r.info.FileHash)
+	}
+	// End-to-end proof: the reassembled bytes must match the catalog's
+	// SHA-256 digest. A zero digest means the descriptor did not advertise
+	// one (legacy or hand-built descriptors) and only the FNV check applies.
+	if r.info.Digest != ([32]byte{}) {
+		if got := sha256.Sum256(data); got != r.info.Digest {
+			return nil, fmt.Errorf("core: file digest mismatch: got %x want %x", got, r.info.Digest)
+		}
 	}
 	r.fileBuf = data
 	return data, nil

@@ -1,0 +1,361 @@
+package harness
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/netsim"
+)
+
+// bern builds a deterministic Bernoulli process for one fault feed.
+func bern(p float64, seed int64, id int) netsim.LossProcess {
+	if p <= 0 {
+		return nil
+	}
+	return &netsim.Bernoulli{P: p, Rng: netsim.ReceiverRNG(seed, id)}
+}
+
+// TestCorruptionDroppedBeforeDecode: a receiver whose mirror feeds corrupt
+// 2-25% of deliveries must still reconstruct the file bit-exactly — every
+// corrupted packet is caught by the CRC32C tag before the decoder sees it,
+// counted per source, and (because its serial never arrives) registers as
+// loss on that source, so the worst-source harvesting rule of PR 3 sees a
+// corrupting mirror exactly like a lossy one.
+func TestCorruptionDroppedBeforeDecode(t *testing.T) {
+	data := testData(23, 60_000)
+	tb, err := New(Config{Mirrors: 3, Data: data, Session: singleLayerConfig(), Rate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	rates := []float64{0.02, 0.05, 0.25} // mirror 2 is the dirty path
+	r, err := tb.AddReceiverWith(ReceiverOpts{
+		Corrupt: func(mirror int) netsim.LossProcess { return bern(rates[mirror], 5100, mirror) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(60 * tb.sess.Codec().N()); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatalf("corrupted packet surfaced as an error: %v", err)
+	}
+	if !r.Done() {
+		t.Fatal("never decoded under corruption")
+	}
+	got, err := r.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("corrupted bytes reached the decoder: file mismatch")
+	}
+	total := r.Engine.Corrupt()
+	if total == 0 {
+		t.Fatal("no corruption recorded — faults not injected")
+	}
+	sum := 0
+	perSource := make([]int, 3)
+	for _, id := range r.Engine.Sources() {
+		st := r.Engine.SourceStats(id)
+		sum += st.Corrupt
+		perSource[id] = st.Corrupt
+	}
+	if sum != total {
+		t.Fatalf("per-source corrupt counts sum to %d, aggregate %d", sum, total)
+	}
+	if perSource[2] <= perSource[0] {
+		t.Fatalf("dirty mirror counted %d corruptions, clean mirror %d", perSource[2], perSource[0])
+	}
+	// Corruption-induced serial gaps must feed the loss estimator: the
+	// worst source is the corrupting mirror, just as PR 3's rule requires.
+	if st := r.Engine.SourceStats(2); st.Lost == 0 {
+		t.Fatal("corrupted packets left no serial gaps on the dirty mirror")
+	}
+	if worst, _ := r.Engine.WorstSource(); worst != 2 {
+		t.Fatalf("worst source %d, want the corrupting mirror 2", worst)
+	}
+}
+
+// TestDuplicationAbsorbed: 30% of deliveries arriving twice must cost
+// duplicate-packet bookkeeping, never correctness.
+func TestDuplicationAbsorbed(t *testing.T) {
+	data := testData(29, 50_000)
+	tb, err := New(Config{Mirrors: 2, Data: data, Session: singleLayerConfig(), Rate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	r, err := tb.AddReceiverWith(ReceiverOpts{
+		Dup: func(mirror int) netsim.LossProcess { return bern(0.30, 5200, mirror) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(40 * tb.sess.Codec().N()); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Done() || r.Err() != nil {
+		t.Fatalf("never decoded under duplication: %v", r.Err())
+	}
+	got, err := r.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("file mismatch under duplication")
+	}
+	dups := 0
+	for _, id := range r.Engine.Sources() {
+		dups += r.Engine.SourceStats(id).Duplicate
+	}
+	if dups == 0 {
+		t.Fatal("no duplicates recorded — faults not injected")
+	}
+}
+
+// TestReorderingStorm: a depth-48 shuffle buffer on every feed plus 10%
+// loss. The decoder is order-oblivious, so the download must complete with
+// a bit-exact file, and — PR 3's refund window at work — the storm must not
+// masquerade as heavy loss to the estimator.
+func TestReorderingStorm(t *testing.T) {
+	data := testData(31, 60_000)
+	tb, err := New(Config{Mirrors: 2, Data: data, Session: singleLayerConfig(), Rate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	mk := mirrorLoss(5300, 0, []float64{0.10, 0.10})
+	r, err := tb.AddReceiverWith(ReceiverOpts{
+		Loss:         func(mirror, layer int) netsim.LossProcess { return mk(mirror) },
+		ReorderDepth: 48,
+		ReorderSeed:  99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(60 * tb.sess.Codec().N()); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Done() || r.Err() != nil {
+		t.Fatalf("never decoded under reordering: %v", r.Err())
+	}
+	got, err := r.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("file mismatch under reordering")
+	}
+	if loss := r.Engine.MeasuredLoss(); loss > 0.5 {
+		t.Fatalf("reordering inflated measured loss to %.2f (injected 0.10)", loss)
+	}
+}
+
+// TestDutyCycledReceiver: a client that sleeps half of every 0.6s period
+// misses every packet sent while deaf, yet still completes — just in more
+// carousel rounds than an always-on peer in the same testbed. This is the
+// paper's interrupted-download property with the interruption pattern
+// pushed to a 50% duty cycle.
+func TestDutyCycledReceiver(t *testing.T) {
+	data := testData(37, 50_000)
+	tb, err := New(Config{Mirrors: 2, Data: data, Session: singleLayerConfig(), Rate: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	always, err := tb.AddReceiver(0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	duty, err := tb.AddReceiverWith(ReceiverOpts{WakeFor: 0.3, SleepFor: 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(60 * tb.sess.Codec().N()); err != nil {
+		t.Fatal(err)
+	}
+	for name, r := range map[string]*Receiver{"always-on": always, "duty-cycled": duty} {
+		if !r.Done() || r.Err() != nil {
+			t.Fatalf("%s receiver never decoded: %v", name, r.Err())
+		}
+		got, err := r.File()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatalf("%s: file mismatch", name)
+		}
+	}
+	if duty.RoundsToDecode() <= always.RoundsToDecode() {
+		t.Fatalf("duty-cycled receiver decoded in %d rounds, always-on needed %d",
+			duty.RoundsToDecode(), always.RoundsToDecode())
+	}
+}
+
+// TestMirrorCrashRestartRejoin: a mirror crashes mid-download, losing its
+// membership table; its carousel halts. After restart the receiver's rejoin
+// watchdog notices the silent source and re-subscribes, and harvesting from
+// that mirror resumes — automatically, no manual intervention.
+func TestMirrorCrashRestartRejoin(t *testing.T) {
+	data := testData(41, 60_000)
+	mk := mirrorLoss(5400, 0, []float64{0.10, 0.10})
+
+	t.Run("restart", func(t *testing.T) {
+		tb, err := New(Config{Mirrors: 2, Data: data, Session: singleLayerConfig(), Rate: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tb.Close()
+		rejoined := 0
+		r, err := tb.AddReceiverWith(ReceiverOpts{
+			Loss:           func(mirror, layer int) netsim.LossProcess { return mk(mirror) },
+			RejoinInterval: 0.25,
+			Rejoined:       &rejoined,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var roundsAtCrash, roundsAtRestart int
+		var gotAtRestart uint64
+		tb.At(0.15, func() {
+			roundsAtCrash = tb.Mirrors[1].Rounds()
+			tb.Mirrors[1].Crash()
+		})
+		tb.At(0.80, func() {
+			roundsAtRestart = tb.Mirrors[1].Rounds()
+			gotAtRestart = r.got[1]
+			tb.Mirrors[1].Restart()
+		})
+		if _, err := tb.Run(60 * tb.sess.Codec().N()); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Done() || r.Err() != nil {
+			t.Fatalf("never decoded across the crash: %v", r.Err())
+		}
+		got, err := r.File()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("file mismatch across the crash")
+		}
+		if roundsAtRestart != roundsAtCrash {
+			t.Fatalf("crashed mirror kept emitting: %d rounds at crash, %d at restart",
+				roundsAtCrash, roundsAtRestart)
+		}
+		if rejoined == 0 {
+			t.Fatal("watchdog never rejoined the silent mirror")
+		}
+		if r.got[1] <= gotAtRestart {
+			t.Fatalf("no packets harvested from the restarted mirror (%d at restart, %d final)",
+				gotAtRestart, r.got[1])
+		}
+	})
+
+	t.Run("crash-forever", func(t *testing.T) {
+		// The mirror never comes back: the fountain property means the
+		// surviving mirror alone completes the download.
+		tb, err := New(Config{Mirrors: 2, Data: data, Session: singleLayerConfig(), Rate: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tb.Close()
+		rejoined := 0
+		r, err := tb.AddReceiverWith(ReceiverOpts{
+			Loss:           func(mirror, layer int) netsim.LossProcess { return mk(mirror) },
+			RejoinInterval: 0.25,
+			Rejoined:       &rejoined,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.At(0.15, func() { tb.Mirrors[1].Crash() })
+		if _, err := tb.Run(60 * tb.sess.Codec().N()); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Done() || r.Err() != nil {
+			t.Fatalf("surviving mirror did not carry the download: %v", r.Err())
+		}
+		got, err := r.File()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("file mismatch")
+		}
+	})
+}
+
+// TestHostileChannelDeterministic: the full fault matrix — loss,
+// corruption, duplication, reordering, a duty-cycled radio, a mirror
+// crash/restart, and the rejoin watchdog — produces bit-identical outcomes
+// on every run. This is the property that lets the hostile-channel tests
+// assert exact counts instead of timing margins.
+func TestHostileChannelDeterministic(t *testing.T) {
+	data := testData(43, 60_000)
+	type outcome struct {
+		rounds   int
+		corrupt  int
+		rejoined int
+		stats    []string
+	}
+	once := func() outcome {
+		t.Helper()
+		tb, err := New(Config{Mirrors: 3, Data: data, Session: singleLayerConfig(), Rate: 100})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer tb.Close()
+		mk := mirrorLoss(5500, 0, []float64{0.08, 0.10, 0.12})
+		rejoined := 0
+		r, err := tb.AddReceiverWith(ReceiverOpts{
+			Loss:           func(mirror, layer int) netsim.LossProcess { return mk(mirror) },
+			Corrupt:        func(mirror int) netsim.LossProcess { return bern(0.05, 5600, mirror) },
+			Dup:            func(mirror int) netsim.LossProcess { return bern(0.10, 5700, mirror) },
+			ReorderDepth:   16,
+			ReorderSeed:    7,
+			WakeFor:        0.5,
+			SleepFor:       0.2,
+			RejoinInterval: 0.9,
+			Rejoined:       &rejoined,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb.At(0.35, func() { tb.Mirrors[2].Crash() })
+		tb.At(1.10, func() { tb.Mirrors[2].Restart() })
+		if _, err := tb.Run(80 * tb.sess.Codec().N()); err != nil {
+			t.Fatal(err)
+		}
+		if !r.Done() || r.Err() != nil {
+			t.Fatalf("never decoded under the full matrix: %v", r.Err())
+		}
+		got, err := r.File()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, data) {
+			t.Fatal("file mismatch under the full matrix")
+		}
+		o := outcome{rounds: r.RoundsToDecode(), corrupt: r.Engine.Corrupt(), rejoined: rejoined}
+		for _, id := range r.Engine.Sources() {
+			o.stats = append(o.stats, fmt.Sprintf("%+v", r.Engine.SourceStats(id)))
+		}
+		return o
+	}
+	a, b := once(), once()
+	if a.rounds != b.rounds || a.corrupt != b.corrupt || a.rejoined != b.rejoined {
+		t.Fatalf("runs diverged: %+v vs %+v", a, b)
+	}
+	for i := range a.stats {
+		if a.stats[i] != b.stats[i] {
+			t.Fatalf("source %d stats diverged:\n%s\n%s", i, a.stats[i], b.stats[i])
+		}
+	}
+	if a.corrupt == 0 {
+		t.Fatal("matrix scenario recorded no corruption")
+	}
+}

@@ -16,6 +16,7 @@ package harness
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/client"
 	"repro/internal/core"
@@ -60,10 +61,27 @@ type Mirror struct {
 	// (service.HandleControl), phase included — exactly what a real
 	// client would learn from a HELLO.
 	Info proto.SessionInfo
+	down atomic.Bool
 }
 
 // Rounds returns the number of carousel rounds this mirror has emitted.
 func (m *Mirror) Rounds() int { return m.Carousel.Rounds() }
+
+// Crash takes the mirror down hard: its carousel stops emitting and —
+// like a real server restart — its membership table is gone, so even
+// after Restart no packets flow until a client re-subscribes (the
+// receiver's rejoin watchdog, or an explicit Reattach).
+func (m *Mirror) Crash() {
+	m.down.Store(true)
+	m.Bus.DropAll()
+}
+
+// Restart brings a crashed mirror back. The carousel resumes from where
+// it stopped with an empty membership table.
+func (m *Mirror) Restart() { m.down.Store(false) }
+
+// Down reports whether the mirror is crashed.
+func (m *Mirror) Down() bool { return m.down.Load() }
 
 // Testbed is a wired set of mirrors and receivers on one virtual clock.
 type Testbed struct {
@@ -160,6 +178,9 @@ func New(cfg Config) (*Testbed, error) {
 		// scenario test doubles as an oracle that the zero-copy send path
 		// emits bit-identical packets in identical order.
 		tb.pump.Add(0, 1/float64(cfg.Rate), func() error {
+			if m.down.Load() {
+				return nil
+			}
 			return m.Service.EmitRound(m.Carousel)
 		})
 	}
@@ -177,6 +198,9 @@ type Receiver struct {
 	doneRounds []int
 	complete   bool
 	doneTime   float64 // virtual time of completion
+	// got[m] counts packets delivered by mirror m's feed (post-loss,
+	// pre-decode) — the rejoin watchdog's liveness signal.
+	got []uint64
 }
 
 // AddReceiver attaches a receiver subscribed at startLevel on every
@@ -184,12 +208,51 @@ type Receiver struct {
 // process. The engine's effective level (worst-source rule) drives all
 // subscriptions together.
 func (tb *Testbed) AddReceiver(startLevel int, loss LossFunc) (*Receiver, error) {
+	return tb.AddReceiverWith(ReceiverOpts{StartLevel: startLevel, Loss: loss})
+}
+
+// ReceiverOpts configures a receiver's hostile-channel conditions beyond
+// plain loss. Every knob is deterministic: same options, same seeds, same
+// delivery sequence on every run.
+type ReceiverOpts struct {
+	// StartLevel is the initial subscription level on every mirror.
+	StartLevel int
+	// Loss builds each (mirror, layer) feed's loss process (may be nil).
+	Loss LossFunc
+	// Corrupt builds a per-mirror corruption process: each "lost" draw
+	// instead flips one byte of the delivered copy, exercising the CRC32C
+	// integrity check end to end (nil = no corruption).
+	Corrupt func(mirror int) netsim.LossProcess
+	// Dup builds a per-mirror duplication process: each "lost" draw
+	// delivers the packet twice (nil = no duplication).
+	Dup func(mirror int) netsim.LossProcess
+	// ReorderDepth > 0 inserts a reordering buffer of that depth on every
+	// mirror feed, releasing packets in a seed-determined shuffle.
+	ReorderDepth int
+	ReorderSeed  int64
+	// WakeFor/SleepFor > 0 duty-cycle the receiver: awake for WakeFor
+	// virtual seconds, then deaf for SleepFor, repeating — the §7.2
+	// sleep/resume client. Packets sent while asleep are gone (UDP).
+	WakeFor, SleepFor float64
+	// RejoinInterval > 0 arms a watchdog that fires every interval of
+	// virtual time and re-subscribes to any mirror that delivered nothing
+	// since the previous check — the in-process model of the client's
+	// control-plane rejoin after a mirror crash/restart wiped its
+	// membership table.
+	RejoinInterval float64
+	// Rejoined, if non-nil, is incremented each time the watchdog
+	// re-subscribes to a silent mirror (observability for tests).
+	Rejoined *int
+}
+
+// AddReceiverWith attaches a receiver with full hostile-channel options.
+func (tb *Testbed) AddReceiverWith(opts ReceiverOpts) (*Receiver, error) {
 	r := &Receiver{tb: tb}
 	r.doneRounds = make([]int, len(tb.Mirrors))
 	for i := range r.doneRounds {
 		r.doneRounds[i] = -1
 	}
-	eng, err := client.NewMultiSource(tb.Mirrors[0].Info, len(tb.Mirrors), startLevel, func(level int) {
+	eng, err := client.NewMultiSource(tb.Mirrors[0].Info, len(tb.Mirrors), opts.StartLevel, func(level int) {
 		for _, bc := range r.clients {
 			bc.SetLevel(level)
 		}
@@ -198,9 +261,12 @@ func (tb *Testbed) AddReceiver(startLevel int, loss LossFunc) (*Receiver, error)
 		return nil, err
 	}
 	r.Engine = eng
+	r.got = make([]uint64, len(tb.Mirrors))
+	lastGot := make([]uint64, len(tb.Mirrors))
 	for mi, m := range tb.Mirrors {
 		src := mi
-		bc := m.Bus.NewClient(startLevel, nil, func(layer int, pkt []byte) {
+		bc := m.Bus.NewClient(opts.StartLevel, nil, func(layer int, pkt []byte) {
+			r.got[src]++
 			if r.err != nil || r.Engine.Done() {
 				return
 			}
@@ -213,12 +279,53 @@ func (tb *Testbed) AddReceiver(startLevel int, loss LossFunc) (*Receiver, error)
 				r.markDone()
 			}
 		})
-		if loss != nil {
+		if opts.Loss != nil {
 			for layer := 0; layer < tb.sess.Config().Layers; layer++ {
-				bc.SetLayerLoss(layer, loss(src, layer))
+				bc.SetLayerLoss(layer, opts.Loss(src, layer))
 			}
 		}
+		if opts.Corrupt != nil {
+			bc.SetCorruption(opts.Corrupt(src))
+		}
+		if opts.Dup != nil {
+			bc.SetDuplication(opts.Dup(src))
+		}
+		if opts.ReorderDepth > 0 {
+			bc.SetReorder(opts.ReorderDepth, opts.ReorderSeed+int64(src))
+		}
 		r.clients = append(r.clients, bc)
+	}
+	if opts.WakeFor > 0 && opts.SleepFor > 0 {
+		period := opts.WakeFor + opts.SleepFor
+		tb.pump.Add(opts.WakeFor, period, func() error {
+			for _, bc := range r.clients {
+				bc.SetAsleep(true)
+			}
+			return nil
+		})
+		tb.pump.Add(period, period, func() error {
+			for _, bc := range r.clients {
+				bc.SetAsleep(false)
+			}
+			return nil
+		})
+	}
+	if opts.RejoinInterval > 0 {
+		tb.pump.Add(opts.RejoinInterval, opts.RejoinInterval, func() error {
+			if r.Engine.Done() || r.err != nil {
+				return nil
+			}
+			for i, bc := range r.clients {
+				if r.got[i] == lastGot[i] {
+					bc.Reattach()
+					if opts.Rejoined != nil {
+						*opts.Rejoined++
+					}
+				}
+				lastGot[i] = r.got[i]
+			}
+			return nil
+		})
 	}
 	tb.Receivers = append(tb.Receivers, r)
 	return r, nil
@@ -267,6 +374,19 @@ func (r *Receiver) TimeToDecode() float64 {
 
 // File reassembles and verifies the receiver's download.
 func (r *Receiver) File() ([]byte, error) { return r.Engine.File() }
+
+// At schedules fn to run once at virtual time t — scenario scripting for
+// crash/restart and similar one-shot events.
+func (tb *Testbed) At(t float64, fn func()) {
+	fired := false
+	tb.pump.Add(t, 1e18, func() error {
+		if !fired {
+			fired = true
+			fn()
+		}
+		return nil
+	})
+}
 
 // Run pumps the mirrors' carousels in virtual-time order until every
 // receiver has decoded (or errored), or maxRounds rounds have been emitted

@@ -8,12 +8,20 @@ import (
 // FuzzParsePacket: ParseHeader must never panic, must reject anything
 // shorter than a header, and parse→marshal must reproduce the input
 // header bytes exactly (the parser is a bijection on its accept set).
+// The integrity layer rides the same corpus: VerifyPacket/ParsePacket must
+// never panic, anything they accept must re-tag to identical bytes, a
+// freshly tagged body must always verify, and flipping any byte of a
+// tagged packet must fail verification (CRC32 detects all single-byte
+// errors).
 func FuzzParsePacket(f *testing.F) {
 	// Seeds: the canonical prototype header, a wrap-boundary serial, an
-	// SP|burst-flagged layered packet, and degenerate inputs.
+	// SP|burst-flagged layered packet, a correctly tagged wire packet, and
+	// degenerate inputs.
 	f.Add(Header{Index: 1, Serial: 1, Group: 0, Session: 0xDF98}.Marshal(nil))
 	f.Add(append(Header{Index: 7, Serial: 0xFFFFFFFF, Group: 3,
 		Flags: FlagSP | FlagBurst, Session: 0xCAFE}.Marshal(nil), 0xAB, 0xCD))
+	f.Add(AppendTag(append(Header{Index: 3, Serial: 9, Session: 0xDF98}.Marshal(nil),
+		1, 2, 3, 4, 5, 6, 7, 8)))
 	f.Add([]byte{})
 	f.Add(make([]byte, HeaderLen-1))
 	f.Fuzz(func(t *testing.T, pkt []byte) {
@@ -22,16 +30,45 @@ func FuzzParsePacket(f *testing.F) {
 			if err != ErrShortPacket {
 				t.Fatalf("%d-byte packet: err = %v, want ErrShortPacket", len(pkt), err)
 			}
+		} else {
+			if err != nil {
+				t.Fatalf("full-length packet rejected: %v", err)
+			}
+			if len(payload) != len(pkt)-HeaderLen {
+				t.Fatalf("payload %d bytes of %d-byte packet", len(payload), len(pkt))
+			}
+			if got := h.Marshal(nil); !bytes.Equal(got, pkt[:HeaderLen]) {
+				t.Fatalf("parse→marshal diverges: %x vs %x", got, pkt[:HeaderLen])
+			}
+		}
+
+		// Integrity trailer: accept set is exactly {AppendTag(body)}.
+		if body, err := VerifyPacket(pkt); err == nil {
+			if !bytes.Equal(AppendTag(append([]byte(nil), body...)), pkt) {
+				t.Fatal("verify→re-tag diverges from input")
+			}
+			if _, _, err := ParsePacket(pkt); err != nil {
+				t.Fatalf("ParsePacket rejects what VerifyPacket accepts: %v", err)
+			}
+		} else if err != ErrShortPacket && err != ErrBadTag {
+			t.Fatalf("VerifyPacket: unexpected error %v", err)
+		}
+		if len(pkt) < HeaderLen {
 			return
 		}
-		if err != nil {
-			t.Fatalf("full-length packet rejected: %v", err)
+		tagged := AppendTag(append([]byte(nil), pkt...))
+		body, err := VerifyPacket(tagged)
+		if err != nil || !bytes.Equal(body, pkt) {
+			t.Fatalf("fresh tag rejected: %v", err)
 		}
-		if len(payload) != len(pkt)-HeaderLen {
-			t.Fatalf("payload %d bytes of %d-byte packet", len(payload), len(pkt))
-		}
-		if got := h.Marshal(nil); !bytes.Equal(got, pkt[:HeaderLen]) {
-			t.Fatalf("parse→marshal diverges: %x vs %x", got, pkt[:HeaderLen])
+		// Any single corrupted byte must be caught — probe the first,
+		// last, and a content-dependent middle position.
+		for _, pos := range []int{0, len(tagged) / 2, len(tagged) - 1} {
+			tagged[pos] ^= 0x40
+			if _, err := VerifyPacket(tagged); err != ErrBadTag {
+				t.Fatalf("flip at %d not detected: %v", pos, err)
+			}
+			tagged[pos] ^= 0x40
 		}
 	})
 }
@@ -48,7 +85,8 @@ func FuzzParseControl(f *testing.F) {
 	f.Add(MarshalCatalogRequest())
 	f.Add(SessionInfo{Session: 1, Codec: CodecTornadoA, Layers: 4, K: 100, N: 200,
 		PacketLen: 512, FileLen: 50_000, Seed: 1998, BaseRate: 2048, SPInterval: 16,
-		FileHash: 0xAB, Phase: 33}.Marshal())
+		FileHash: 0xAB, Phase: 33,
+		Digest: [32]byte{1, 2, 3, 0xDF, 0x98, 31: 0xFF}}.Marshal())
 	f.Add(MarshalCatalog([]SessionInfo{
 		{Session: 1, K: 10, N: 20, PacketLen: 16},
 		{Session: 2, K: 30, N: 60, PacketLen: 16, InterleaveK: 5, Phase: 7},

@@ -47,7 +47,20 @@ type Config struct {
 	// paced sessions (0 = GOMAXPROCS). The shard count bounds send-path
 	// parallelism; it does not grow with the session count.
 	Shards int
+	// MaxSessions caps the registry (0 = unlimited): registrations beyond
+	// the cap are refused with ErrSessionLimit. A fountain server's
+	// per-session cost is small but not zero (a heap entry, cached blocks),
+	// so an operator can bound it.
+	MaxSessions int
 }
+
+// ErrSessionLimit is returned by Add/AddData when Config.MaxSessions is
+// reached — admission control, not a fault.
+var ErrSessionLimit = errors.New("service: session limit reached")
+
+// ErrDraining is returned by Add/AddData after Drain began: a draining
+// service finishes what it carries but admits nothing new.
+var ErrDraining = errors.New("service: draining")
 
 // Stats is a snapshot of the service counters.
 type Stats struct {
@@ -106,6 +119,7 @@ type Service struct {
 	packets    atomic.Uint64
 	bytes      atomic.Uint64
 	sendErrors atomic.Uint64
+	draining   atomic.Bool
 }
 
 // New creates a service transmitting on tx. Any Sender works; transports
@@ -211,6 +225,12 @@ func (s *Service) register(sess *core.Session, rate, phase int, manual bool) (*e
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, errors.New("service: closed")
+	}
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	if s.cfg.MaxSessions > 0 && len(s.sessions) >= s.cfg.MaxSessions {
+		return nil, ErrSessionLimit
 	}
 	if _, dup := s.sessions[id]; dup {
 		return nil, fmt.Errorf("service: session id %#x already registered", id)
@@ -373,6 +393,25 @@ func (s *Service) Stats() Stats {
 		CacheMisses: misses,
 	}
 }
+
+// Drain retires the service gracefully: admission stops immediately
+// (further Add/AddData calls return ErrDraining), every round already in
+// flight on a shard worker finishes emitting, and all shard workers are
+// joined before Drain returns. The registry and control plane stay up —
+// clients mid-download can still resolve descriptors — but no further data
+// packets are paced out. Drain is idempotent and safe to call concurrently
+// with Add, Remove, Close, and itself (shard done channels are closed, so
+// every waiter is released).
+func (s *Service) Drain() {
+	s.draining.Store(true)
+	s.cancel()
+	for _, sh := range s.sched.shards {
+		<-sh.done
+	}
+}
+
+// Draining reports whether Drain has begun.
+func (s *Service) Draining() bool { return s.draining.Load() }
 
 // Close stops the scheduler and waits for every shard worker to exit. The
 // service cannot be reused afterwards.

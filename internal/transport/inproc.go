@@ -53,6 +53,19 @@ func (b *Bus) resnap() {
 // Layers returns the group count.
 func (b *Bus) Layers() int { return b.layers }
 
+// DropAll detaches every subscriber without closing them — the membership
+// table a crashed-and-restarted server would have lost. Clients stop
+// receiving until they Reattach (the in-process analogue of re-sending
+// their subscriptions to the restarted server).
+func (b *Bus) DropAll() {
+	b.mu.Lock()
+	for c := range b.subs {
+		delete(b.subs, c)
+	}
+	b.resnap()
+	b.mu.Unlock()
+}
+
 // Send delivers pkt on a layer to every subscribed client, applying each
 // client's loss process. Delivery is synchronous (the handler runs on the
 // caller's goroutine).
@@ -89,6 +102,14 @@ func (b *Bus) SendBatch(layer int, pkts [][]byte) error {
 }
 
 // BusClient is one receiver attached to a Bus.
+//
+// Beyond the loss process, a client can inject the other faults of a
+// hostile channel, each driven by a deterministic process so scenarios
+// reproduce bit for bit: corruption (a delivered packet has one byte
+// flipped — the integrity tag must catch it), duplication (a packet is
+// delivered twice), reordering (packets pass through a bounded shuffle
+// buffer), and duty-cycling (an asleep client misses everything, the
+// radio-off state of wireless receivers).
 type BusClient struct {
 	bus     *Bus
 	mu      sync.Mutex
@@ -97,6 +118,31 @@ type BusClient struct {
 	byLayer []netsim.LossProcess // optional per-layer override
 	handler Handler
 	closed  bool
+	asleep  bool
+
+	corrupt netsim.LossProcess // fires = flip one byte of the delivery
+	dup     netsim.LossProcess // fires = deliver the packet twice
+	faultN  uint64             // deterministic corruption-position walk
+	scratch []byte             // corrupted copy (the shared buffer must stay intact)
+
+	reorderDepth int // > 0 enables the shuffle buffer
+	reorderSeed  uint64
+	reorderN     uint64
+	rq           []queuedPacket
+}
+
+type queuedPacket struct {
+	layer int
+	pkt   []byte
+}
+
+// splitmix64 is the mixing function behind every deterministic draw in the
+// fault layer.
+func splitmix64(z uint64) uint64 {
+	z += 0x9E3779B97F4A7C15
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
 }
 
 // NewClient attaches a client subscribed to layers 0..level with the given
@@ -126,6 +172,80 @@ func (c *BusClient) SetLayerLoss(layer int, lp netsim.LossProcess) {
 	c.byLayer[layer] = lp
 }
 
+// SetCorruption sets the client's corruption process: each delivery for
+// which lp fires arrives with one byte flipped (position walks the packet
+// deterministically), in a private copy — other subscribers of the same
+// send still receive the intact bytes. nil disables corruption.
+func (c *BusClient) SetCorruption(lp netsim.LossProcess) {
+	c.mu.Lock()
+	c.corrupt = lp
+	c.mu.Unlock()
+}
+
+// SetDuplication sets the client's duplication process: each delivery for
+// which lp fires is handed to the handler twice back-to-back (the
+// duplicated delivery repeats the corrupted bytes if corruption also
+// fired). nil disables duplication.
+func (c *BusClient) SetDuplication(lp netsim.LossProcess) {
+	c.mu.Lock()
+	c.dup = lp
+	c.mu.Unlock()
+}
+
+// SetReorder routes deliveries through a depth-d shuffle buffer: each
+// arriving packet is queued (copied — the sender reuses its buffers), and
+// once the buffer holds more than depth packets a pseudorandomly chosen
+// one (seeded, deterministic) is released. Sustained traffic therefore
+// arrives in a storm-reordered but reproducible order. depth <= 0 disables
+// reordering and flushes anything still queued, in queue order.
+func (c *BusClient) SetReorder(depth int, seed int64) {
+	c.mu.Lock()
+	c.reorderDepth = depth
+	c.reorderSeed = uint64(seed)
+	c.reorderN = 0
+	var flush []queuedPacket
+	if depth <= 0 && len(c.rq) > 0 {
+		flush = c.rq
+		c.rq = nil
+	}
+	h := c.handler
+	closed := c.closed
+	c.mu.Unlock()
+	if closed || h == nil {
+		return
+	}
+	for _, q := range flush {
+		h(q.layer, q.pkt)
+	}
+}
+
+// SetAsleep pauses (true) or resumes (false) the client: an asleep client
+// misses every delivery, the duty-cycled radio-off state of wireless
+// receivers. Packets sent while asleep are simply gone — on resume the
+// receiver sees serial gaps, exactly as after a real sleep.
+func (c *BusClient) SetAsleep(asleep bool) {
+	c.mu.Lock()
+	c.asleep = asleep
+	c.mu.Unlock()
+}
+
+// Reattach re-registers a detached client with its bus (a no-op while
+// already attached; closed clients stay closed). This is the in-process
+// analogue of re-sending a SUB datagram to a server that crashed and came
+// back with an empty membership table.
+func (c *BusClient) Reattach() {
+	c.mu.Lock()
+	closed := c.closed
+	c.mu.Unlock()
+	if closed {
+		return
+	}
+	c.bus.mu.Lock()
+	c.bus.subs[c] = struct{}{}
+	c.bus.resnap()
+	c.bus.mu.Unlock()
+}
+
 // SetLevel changes the client's cumulative subscription level.
 func (c *BusClient) SetLevel(level int) {
 	c.mu.Lock()
@@ -151,9 +271,14 @@ func (c *BusClient) Close() {
 	c.mu.Unlock()
 }
 
+// deliver applies the client's fault pipeline to one sent packet: drop
+// (asleep, loss process), corrupt (byte flip in a private copy), reorder
+// (bounded shuffle buffer), duplicate. All fault decisions draw from
+// deterministic processes under the client lock, so a scenario's delivery
+// sequence is a pure function of its seeds.
 func (c *BusClient) deliver(layer int, pkt []byte) {
 	c.mu.Lock()
-	if c.closed || layer > c.level {
+	if c.closed || c.asleep || layer > c.level {
 		c.mu.Unlock()
 		return
 	}
@@ -161,13 +286,54 @@ func (c *BusClient) deliver(layer int, pkt []byte) {
 	if c.byLayer != nil && c.byLayer[layer] != nil {
 		lp = c.byLayer[layer]
 	}
-	lost := lp != nil && lp.Lose()
-	h := c.handler
-	c.mu.Unlock()
-	if lost || h == nil {
+	if lp != nil && lp.Lose() {
+		c.mu.Unlock()
 		return
 	}
-	h(layer, pkt)
+	h := c.handler
+	out := pkt
+	if c.corrupt != nil && c.corrupt.Lose() && len(pkt) > 0 {
+		// Flip one byte in a private copy: the sender's (pooled, shared)
+		// buffer must reach every other subscriber intact.
+		c.scratch = append(c.scratch[:0], pkt...)
+		c.scratch[int(c.faultN%uint64(len(c.scratch)))] ^= 0x55
+		out = c.scratch
+	}
+	c.faultN++
+	dup := c.dup != nil && c.dup.Lose()
+	if c.reorderDepth > 0 {
+		// Queue a copy (the caller reuses pkt as soon as Send returns) and
+		// release a pseudorandom queued packet once the buffer is full.
+		c.rq = append(c.rq, queuedPacket{layer: layer, pkt: append([]byte(nil), out...)})
+		if len(c.rq) <= c.reorderDepth {
+			c.mu.Unlock()
+			return
+		}
+		i := int(splitmix64(c.reorderSeed^c.reorderN) % uint64(len(c.rq)))
+		c.reorderN++
+		rel := c.rq[i]
+		last := len(c.rq) - 1
+		c.rq[i] = c.rq[last]
+		c.rq[last] = queuedPacket{}
+		c.rq = c.rq[:last]
+		c.mu.Unlock()
+		if h == nil {
+			return
+		}
+		h(rel.layer, rel.pkt)
+		if dup {
+			h(rel.layer, rel.pkt)
+		}
+		return
+	}
+	c.mu.Unlock()
+	if h == nil {
+		return
+	}
+	h(layer, out)
+	if dup {
+		h(layer, out)
+	}
 }
 
 // Pump is a deterministic virtual-clock scheduler for bus-based testbeds:

@@ -138,6 +138,17 @@ func (m *MultiClient) Level() int {
 	return m.level
 }
 
+// Rejoin re-sends the subscription joins of one source — the recovery
+// action when that mirror went silent because it crashed and came back
+// with an empty membership table. Joins are idempotent, so rejoining a
+// healthy mirror is harmless.
+func (m *MultiClient) Rejoin(src int) error {
+	if src < 0 || src >= len(m.clients) {
+		return fmt.Errorf("transport: no source %d", src)
+	}
+	return m.clients[src].Resubscribe()
+}
+
 // Close unsubscribes and closes every source socket and waits for the
 // funnel goroutines to exit.
 func (m *MultiClient) Close() error {

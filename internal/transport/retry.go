@@ -1,0 +1,73 @@
+package transport
+
+import (
+	"fmt"
+	"net"
+	"time"
+)
+
+// RetryPolicy bounds a control-plane request loop: a fixed number of
+// attempts, a per-attempt reply timeout, and a jittered exponential
+// backoff between attempts. The zero value selects sane client defaults
+// (5 attempts, 500ms timeout, 100ms base backoff capped at 2s).
+//
+// Control requests are tiny idempotent datagrams, so retrying is always
+// safe; the jitter keeps a fleet of clients from re-probing a restarted
+// mirror in lockstep.
+type RetryPolicy struct {
+	Attempts   int           // total attempts (0 = 5)
+	Timeout    time.Duration // per-attempt reply timeout (0 = 500ms)
+	Backoff    time.Duration // delay before the second attempt (0 = 100ms), doubling
+	MaxBackoff time.Duration // backoff ceiling (0 = 2s)
+	Seed       int64         // jitter seed; fixed seeds make retry schedules reproducible
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.Attempts <= 0 {
+		p.Attempts = 5
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = 500 * time.Millisecond
+	}
+	if p.Backoff <= 0 {
+		p.Backoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	return p
+}
+
+// delay returns the jittered backoff before attempt i+1 (i counting from
+// 0): the exponential base scaled by a deterministic factor in [0.5, 1.5).
+func (p RetryPolicy) delay(i int) time.Duration {
+	d := p.Backoff << uint(i)
+	if d > p.MaxBackoff || d <= 0 {
+		d = p.MaxBackoff
+	}
+	j := splitmix64(uint64(p.Seed) ^ uint64(i) + 0x5DEECE66D)
+	frac := 0.5 + float64(j>>11)/float64(1<<53) // [0.5, 1.5)
+	return time.Duration(float64(d) * frac)
+}
+
+// RequestSessionInfoRetry is RequestSessionInfo wrapped in a bounded,
+// jittered retry loop: a client starting against a mirror that is slow,
+// restarting, or momentarily unreachable keeps probing instead of dying on
+// the first lost datagram — and still fails fast (with the last error)
+// when the server is truly gone, instead of hanging forever.
+func RequestSessionInfoRetry(control *net.UDPAddr, hello []byte, p RetryPolicy) ([]byte, error) {
+	p = p.withDefaults()
+	var lastErr error
+	for i := 0; i < p.Attempts; i++ {
+		if i > 0 {
+			time.Sleep(p.delay(i - 1))
+		}
+		reply, err := RequestSessionInfo(control, hello, p.Timeout)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("transport: control request failed after %d attempts: %w",
+		p.Attempts, lastErr)
+}

@@ -34,6 +34,47 @@ type subKey struct {
 	layer   uint8
 }
 
+// UDPLimits hardens a UDPServer against broken or hostile subscribers. The
+// zero value of each field selects a default (eviction) or disables the
+// limit (admission cap, rate cap).
+type UDPLimits struct {
+	// MaxSubscribers caps the number of distinct subscriber addresses in
+	// the membership table; joins beyond the cap are refused (0 = no cap).
+	MaxSubscribers int
+	// EvictAfter is the consecutive-write-error streak at which a
+	// subscriber is evicted from every group (0 = 8). A fountain receiver
+	// loses nothing it can't recover, and the server stops burning send
+	// syscalls on a dead address.
+	EvictAfter int
+	// EvictCooldown is the penalty box: an evicted address cannot rejoin
+	// until it elapses (0 = 1s).
+	EvictCooldown time.Duration
+	// MaxPPS caps each subscriber's delivery rate in packets/second,
+	// enforced with a per-address token bucket of one second's depth
+	// (0 = uncapped). Excess packets are dropped for that subscriber only —
+	// to a fountain client that is indistinguishable from path loss.
+	MaxPPS int
+	// Log, when non-nil, receives one line per newly evicted subscriber
+	// and one line the first time the admission cap refuses a join.
+	Log func(format string, args ...any)
+}
+
+// UDPHardening is a snapshot of the server's defensive counters.
+type UDPHardening struct {
+	Evictions    uint64 // subscribers evicted for persistent write errors
+	RefusedJoins uint64 // joins refused by the admission cap or penalty box
+	RateDropped  uint64 // packets dropped by per-subscriber rate caps
+}
+
+// subState is the server's per-subscriber-address defensive state.
+type subState struct {
+	errStreak    int
+	evictedUntil time.Time
+	tokens       float64
+	lastRefill   time.Time
+	logged       bool // eviction for this address already logged once
+}
+
 // UDPServer owns the data socket and the per-(session, layer) subscriber
 // sets. It satisfies the unified transport.Sender: Send(layer, pkt) parses
 // the session id out of the packet header and unicasts to that session's
@@ -46,14 +87,22 @@ type subKey struct {
 // handed to the kernel for every subscriber; nothing on the fan-out path
 // copies packet data.
 type UDPServer struct {
-	conn     *net.UDPConn
-	layers   int
-	mu       sync.Mutex
-	subs     map[subKey]map[netip.AddrPort]struct{}
-	done     chan struct{}
-	loopDone chan struct{}
-	closing  sync.Once
-	closeErr error
+	conn   *net.UDPConn
+	layers int
+	mu     sync.Mutex
+	subs   map[subKey]map[netip.AddrPort]struct{}
+	// addrRef counts how many (session, layer) sets each subscriber
+	// address appears in — the admission cap's distinct-address count.
+	addrRef map[netip.AddrPort]int
+	state   map[netip.AddrPort]*subState
+	limits  UDPLimits
+	// hardening counters; guarded by mu.
+	evictions, refusedJoins, rateDropped uint64
+	loggedCap                            bool
+	done                                 chan struct{}
+	loopDone                             chan struct{}
+	closing                              sync.Once
+	closeErr                             error
 
 	// sendMu serializes the fan-out scratch below. Writes on one UDP
 	// socket serialize in the kernel anyway, so this costs no parallelism
@@ -86,6 +135,9 @@ func NewUDPServer(addr string, layers int) (*UDPServer, error) {
 		conn:     conn,
 		layers:   layers,
 		subs:     make(map[subKey]map[netip.AddrPort]struct{}),
+		addrRef:  make(map[netip.AddrPort]int),
+		state:    make(map[netip.AddrPort]*subState),
+		limits:   UDPLimits{EvictAfter: 8, EvictCooldown: time.Second},
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 		v4Socket: conn.LocalAddr().(*net.UDPAddr).IP.To4() != nil,
@@ -132,20 +184,161 @@ func (s *UDPServer) membershipLoop() {
 			key := subKey{session, uint8(layer)}
 			s.mu.Lock()
 			if join {
+				if !s.admitJoinLocked(addr) {
+					s.mu.Unlock()
+					continue
+				}
 				set := s.subs[key]
 				if set == nil {
 					set = make(map[netip.AddrPort]struct{})
 					s.subs[key] = set
 				}
-				set[addr] = struct{}{}
+				if _, dup := set[addr]; !dup {
+					set[addr] = struct{}{}
+					s.addrRef[addr]++
+				}
 			} else if set := s.subs[key]; set != nil {
-				delete(set, addr)
-				if len(set) == 0 {
-					delete(s.subs, key)
+				if _, had := set[addr]; had {
+					delete(set, addr)
+					if len(set) == 0 {
+						delete(s.subs, key)
+					}
+					if s.addrRef[addr]--; s.addrRef[addr] <= 0 {
+						delete(s.addrRef, addr)
+					}
 				}
 			}
 			s.mu.Unlock()
 		}
+	}
+}
+
+// SetLimits replaces the server's hardening limits. Zero-valued fields
+// fall back to the construction defaults (EvictAfter 8, EvictCooldown 1s);
+// MaxSubscribers and MaxPPS stay disabled when zero.
+func (s *UDPServer) SetLimits(l UDPLimits) {
+	if l.EvictAfter <= 0 {
+		l.EvictAfter = 8
+	}
+	if l.EvictCooldown <= 0 {
+		l.EvictCooldown = time.Second
+	}
+	s.mu.Lock()
+	s.limits = l
+	s.mu.Unlock()
+}
+
+// Hardening returns a snapshot of the defensive counters.
+func (s *UDPServer) Hardening() UDPHardening {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return UDPHardening{
+		Evictions:    s.evictions,
+		RefusedJoins: s.refusedJoins,
+		RateDropped:  s.rateDropped,
+	}
+}
+
+// admitJoinLocked decides whether a join from addr is allowed: refused
+// while the address sits in the eviction penalty box, and refused for new
+// addresses beyond the MaxSubscribers cap. Callers hold s.mu.
+func (s *UDPServer) admitJoinLocked(addr netip.AddrPort) bool {
+	if st := s.state[addr]; st != nil && time.Now().Before(st.evictedUntil) {
+		s.refusedJoins++
+		return false
+	}
+	if s.limits.MaxSubscribers > 0 && s.addrRef[addr] == 0 &&
+		len(s.addrRef) >= s.limits.MaxSubscribers {
+		s.refusedJoins++
+		if s.limits.Log != nil && !s.loggedCap {
+			s.loggedCap = true
+			s.limits.Log("transport: subscriber cap %d reached, refusing new joins",
+				s.limits.MaxSubscribers)
+		}
+		return false
+	}
+	return true
+}
+
+// admitWrites consults addr's token bucket for a want-packet delivery and
+// returns how many packets may actually be written (want when uncapped).
+// The bucket holds one second's worth of the cap, so a subscriber may
+// burst up to MaxPPS packets and then sustains MaxPPS.
+func (s *UDPServer) admitWrites(addr netip.AddrPort, want int) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st := s.state[addr]; st != nil && time.Now().Before(st.evictedUntil) {
+		return 0 // raced an eviction: the penalty box wins
+	}
+	cap := s.limits.MaxPPS
+	if cap <= 0 {
+		return want
+	}
+	st := s.state[addr]
+	if st == nil {
+		st = &subState{}
+		s.state[addr] = st
+	}
+	now := time.Now()
+	if st.lastRefill.IsZero() {
+		st.tokens = float64(cap)
+	} else {
+		st.tokens += now.Sub(st.lastRefill).Seconds() * float64(cap)
+		if st.tokens > float64(cap) {
+			st.tokens = float64(cap)
+		}
+	}
+	st.lastRefill = now
+	n := want
+	if st.tokens < float64(n) {
+		n = int(st.tokens)
+	}
+	st.tokens -= float64(n)
+	if n < want {
+		s.rateDropped += uint64(want - n)
+	}
+	return n
+}
+
+// noteResult records one delivery attempt's outcome for addr: success
+// clears the error streak, failure extends it, and a streak of EvictAfter
+// evicts the subscriber from every group — with a cooldown penalty box and
+// a single log line — so a dead or firewalled address stops consuming send
+// syscalls on every round.
+func (s *UDPServer) noteResult(addr netip.AddrPort, err error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.state[addr]
+	if err == nil {
+		if st != nil {
+			st.errStreak = 0
+		}
+		return
+	}
+	if st == nil {
+		st = &subState{}
+		s.state[addr] = st
+	}
+	st.errStreak++
+	if st.errStreak < s.limits.EvictAfter {
+		return
+	}
+	for key, set := range s.subs {
+		if _, ok := set[addr]; ok {
+			delete(set, addr)
+			if len(set) == 0 {
+				delete(s.subs, key)
+			}
+		}
+	}
+	delete(s.addrRef, addr)
+	st.errStreak = 0
+	st.evictedUntil = time.Now().Add(s.limits.EvictCooldown)
+	s.evictions++
+	if s.limits.Log != nil && !st.logged {
+		st.logged = true
+		s.limits.Log("transport: evicted subscriber %s after %d consecutive write errors (cooldown %v)",
+			addr, s.limits.EvictAfter, s.limits.EvictCooldown)
 	}
 }
 
@@ -200,7 +393,12 @@ func (s *UDPServer) Send(layer int, pkt []byte) error {
 	s.addrBuf = addrs[:0]
 	var first error
 	for _, a := range addrs {
-		if err := s.writeOne(pkt, a); err != nil && first == nil {
+		if s.admitWrites(a, 1) == 0 {
+			continue
+		}
+		err := s.writeOne(pkt, a)
+		s.noteResult(a, err)
+		if err != nil && first == nil {
 			first = err
 		}
 	}
@@ -235,7 +433,13 @@ func (s *UDPServer) SendBatch(layer int, pkts [][]byte) error {
 		addrs := s.gatherAddrs(s.addrBuf[:0], session, layer)
 		s.addrBuf = addrs[:0]
 		for _, a := range addrs {
-			if err := s.writeBatchTo(pkts[lo:hi], a); err != nil && first == nil {
+			n := s.admitWrites(a, hi-lo)
+			if n == 0 {
+				continue
+			}
+			err := s.writeBatchTo(pkts[lo:lo+n], a)
+			s.noteResult(a, err)
+			if err != nil && first == nil {
 				first = err
 			}
 		}
@@ -372,6 +576,24 @@ func (c *UDPClient) Level() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.level
+}
+
+// Resubscribe re-sends the join datagram for every currently subscribed
+// layer. Joins are idempotent on the server, so this is the client's
+// recovery action whenever the server may have lost its membership table —
+// a crash/restart, or an eviction whose cooldown has passed.
+func (c *UDPClient) Resubscribe() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return errors.New("transport: client closed")
+	}
+	for l := 0; l <= c.level; l++ {
+		if err := c.sendSub(l, true); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Recv blocks for the next packet (with timeout). ok=false on timeout or
