@@ -150,7 +150,7 @@ func BenchmarkTable4Speedup(b *testing.B) {
 // receiver's carousel download per iteration, for each curve.
 func BenchmarkFig4Reception(b *testing.B) {
 	const k = 1024
-	rng := rand.New(rand.NewSource(6))
+	rng := netsim.NewRNG(6)
 	curves := []struct {
 		name string
 		mk   func() netsim.Decodability
@@ -178,7 +178,7 @@ func BenchmarkFig4Reception(b *testing.B) {
 // at 250KB.
 func BenchmarkFig5FileSize(b *testing.B) {
 	const k = 250
-	rng := rand.New(rand.NewSource(7))
+	rng := netsim.NewRNG(7)
 	for i := 0; i < b.N; i++ {
 		dec := netsim.NewBlockDecoder(2*k, k/50, 50)
 		netsim.Carousel(dec, &netsim.Bernoulli{P: 0.1, Rng: rng}, nil, rng, 0)
@@ -187,7 +187,7 @@ func BenchmarkFig5FileSize(b *testing.B) {
 
 // BenchmarkFig6Trace measures one trace-driven receiver download.
 func BenchmarkFig6Trace(b *testing.B) {
-	rng := rand.New(rand.NewSource(8))
+	rng := netsim.NewRNG(8)
 	ge := &netsim.GilbertElliott{PGB: 0.02, PBG: 0.1, LossGood: 0.02, LossBad: 0.7, Rng: rng}
 	const k = 512
 	for i := 0; i < b.N; i++ {
@@ -224,6 +224,7 @@ func BenchmarkFig8Prototype(b *testing.B) {
 	rng := rand.New(rand.NewSource(9))
 	data := make([]byte, 128<<10)
 	rng.Read(data)
+	lossRng := netsim.NewRNG(9)
 	cfg := DefaultConfig()
 	sess, err := NewSession(data, cfg)
 	if err != nil {
@@ -238,7 +239,7 @@ func BenchmarkFig8Prototype(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		bc := bus.NewClient(2, &netsim.Bernoulli{P: 0.2, Rng: rng}, func(_ int, pkt []byte) {
+		bc := bus.NewClient(2, &netsim.Bernoulli{P: 0.2, Rng: lossRng}, func(_ int, pkt []byte) {
 			eng.HandlePacket(pkt)
 		})
 		lvl = bc.SetLevel

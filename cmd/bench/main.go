@@ -9,11 +9,15 @@
 //
 //	go run ./cmd/bench [-suite codecs] [-o BENCH_codecs.json] [-k 512] [-pl 1024]
 //	go run ./cmd/bench -suite sender [-o BENCH_sender.json]
+//	go run ./cmd/bench -suite receiver [-o BENCH_receiver.json] [-receivers 1000000]
 //
 // The sender suite benchmarks the service's aggregate emission throughput
 // at 1/16/256 concurrent sessions — shared pacing scheduler vs the
 // goroutine-per-session baseline — and fails when steady-state emission
-// allocates (see sender.go).
+// allocates (see sender.go). The receiver suite benchmarks the intake
+// half — engine packet ingestion, batched vs one-datagram socket reads,
+// and the population simulator at 10^6 receivers — with the same
+// zero-allocation hard gates (see receiver.go).
 package main
 
 import (
@@ -61,13 +65,20 @@ type report struct {
 }
 
 func main() {
-	suite := flag.String("suite", "codecs", "benchmark suite: codecs|sender")
+	suite := flag.String("suite", "codecs", "benchmark suite: codecs|sender|receiver")
 	out := flag.String("o", "", "output JSON path ('-' for stdout; default BENCH_<suite>.json)")
 	k := flag.Int("k", 512, "source packets per block (codecs suite only)")
 	pl := flag.Int("pl", 1024, "packet length in bytes (sender suite default: 500)")
+	receivers := flag.Int("receivers", 1_000_000, "simulated population size (receiver suite only)")
 	flag.Parse()
 
 	switch *suite {
+	case "receiver":
+		if *out == "" {
+			*out = "BENCH_receiver.json"
+		}
+		runReceiverSuite(*out, *receivers)
+		return
 	case "sender":
 		if *out == "" {
 			*out = "BENCH_sender.json"
@@ -83,7 +94,7 @@ func main() {
 			*out = "BENCH_codecs.json"
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (codecs|sender)\n", *suite)
+		fmt.Fprintf(os.Stderr, "bench: unknown suite %q (codecs|sender|receiver)\n", *suite)
 		os.Exit(1)
 	}
 

@@ -18,6 +18,7 @@ import (
 
 func main() {
 	rng := rand.New(rand.NewSource(13))
+	lossRng := netsim.NewRNG(13)
 	payload := make([]byte, 128<<10)
 	rng.Read(payload)
 
@@ -38,10 +39,10 @@ func main() {
 		used  int
 	}
 	paths := []*path{
-		{name: "terrestrial-1", loss: &netsim.Bernoulli{P: 0.05, Rng: rng}, delay: 10},
-		{name: "terrestrial-2", loss: &netsim.Bernoulli{P: 0.15, Rng: rng}, delay: 14},
-		{name: "congested", loss: &netsim.GilbertElliott{PGB: 0.05, PBG: 0.2, LossGood: 0.05, LossBad: 0.9, Rng: rng}, delay: 40},
-		{name: "satellite", loss: &netsim.Bernoulli{P: 0.30, Rng: rng}, delay: 120},
+		{name: "terrestrial-1", loss: &netsim.Bernoulli{P: 0.05, Rng: lossRng}, delay: 10},
+		{name: "terrestrial-2", loss: &netsim.Bernoulli{P: 0.15, Rng: lossRng}, delay: 14},
+		{name: "congested", loss: &netsim.GilbertElliott{PGB: 0.05, PBG: 0.2, LossGood: 0.05, LossBad: 0.9, Rng: lossRng}, delay: 40},
+		{name: "satellite", loss: &netsim.Bernoulli{P: 0.30, Rng: lossRng}, delay: 120},
 	}
 
 	rcv, err := fountain.NewReceiver(info)

@@ -15,6 +15,7 @@ import (
 
 func main() {
 	rng := rand.New(rand.NewSource(7))
+	lossRng := netsim.NewRNG(7)
 	image := make([]byte, 512<<10) // the software release
 	rng.Read(image)
 
@@ -57,7 +58,7 @@ func main() {
 				r.started = true
 				rr := r
 				var bc interface{ SetLevel(int) }
-				c := bus.NewClient(1, &netsim.Bernoulli{P: r.lossP, Rng: rng}, func(_ int, pkt []byte) {
+				c := bus.NewClient(1, &netsim.Bernoulli{P: r.lossP, Rng: lossRng}, func(_ int, pkt []byte) {
 					rr.client.HandlePacket(pkt)
 				})
 				bc = c

@@ -267,6 +267,19 @@ func NewMultiClient(servers []*net.UDPAddr, session uint16, level int) (*MultiCl
 // SessionAny is the wildcard session id for UDP subscriptions.
 const SessionAny = transport.SessionAny
 
+// RecvBatch is a reusable set of pooled receive buffers for
+// UDPClient.RecvBatch — one recvmmsg(2) visit per fill on linux/amd64, so
+// a steady-state receive loop drains datagram bursts with one syscall and
+// zero allocations.
+type RecvBatch = transport.RecvBatch
+
+// Receive-loop terminal conditions: ErrTimeout means the socket is healthy
+// but idle (poll again); ErrClosed means the client was closed (stop).
+var (
+	ErrRecvClosed  = transport.ErrClosed
+	ErrRecvTimeout = transport.ErrTimeout
+)
+
 // UDPLimits is a UDP server's admission-control and abuse policy: a cap
 // on distinct subscriber addresses, eviction of subscribers whose writes
 // keep failing (with a cooldown penalty box), and an optional

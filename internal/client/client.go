@@ -18,6 +18,7 @@ package client
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"repro/internal/core"
@@ -41,10 +42,14 @@ type SourceStats struct {
 }
 
 // source is the per-mirror receive state: serial/loss accounting and a
-// layered congestion controller fed only by this mirror's packets.
+// layered congestion controller fed only by this mirror's packets. All
+// per-layer state is indexed by layer group in flat slices sized at
+// registration — the steady-state intake path performs no map operations
+// and no allocations.
 type source struct {
-	lastSerial map[uint8]uint32
-	missing    map[uint8]*missingWindow // serials counted lost, refundable on late arrival
+	lastSerial []uint32 // per layer; valid only where haveSerial
+	haveSerial []bool
+	missing    []missingWindow // per layer: serials counted lost, refundable on late arrival
 	ctrl       *layered.Controller
 	received   int
 	lost       int
@@ -67,35 +72,47 @@ type Engine struct {
 // maxTrackedMissing bounds the per-(source, layer) window of refundable
 // lost serials: reordering windows are short, so only the most recent
 // serials of a gap need tracking; anything older stays counted as lost.
+// Must be a power of two (the ring masks instead of dividing).
 const maxTrackedMissing = 512
 
 // missingWindow remembers the most recent serials counted as lost, so a
-// late (reordered) arrival refunds its provisional loss exactly once. It is
-// a FIFO ring over a set: inserting past capacity evicts the oldest
-// remembered serial, never blocking newer gaps from being tracked.
+// late (reordered) arrival refunds its provisional loss exactly once. It
+// is a fixed ring plus a live-slot bitset: inserting past capacity
+// overwrites (= evicts) the oldest remembered serial, refunding clears the
+// slot's live bit. Behaviour is identical to a FIFO set — the serials of
+// distinct gaps never repeat while tracked (the stream position only moves
+// forward, so a serial can enter the window at most once before it would
+// be evicted) — but there are no map operations and no allocations:
+// the window embeds by value in the per-source state.
 type missingWindow struct {
-	set  map[uint32]struct{}
 	ring [maxTrackedMissing]uint32
+	live [maxTrackedMissing / 64]uint64
 	n    int // total inserts
 }
 
 func (w *missingWindow) add(s uint32) {
-	slot := w.n % maxTrackedMissing
-	if w.n >= maxTrackedMissing {
-		delete(w.set, w.ring[slot]) // evict oldest (no-op if already refunded)
-	}
-	w.ring[slot] = s
-	w.set[s] = struct{}{}
+	slot := w.n & (maxTrackedMissing - 1)
+	w.ring[slot] = s // overwrite = evict oldest (no-op if already refunded)
+	w.live[slot>>6] |= 1 << (slot & 63)
 	w.n++
 }
 
-// refund reports whether s was a tracked loss, forgetting it if so.
+// refund reports whether s is a tracked loss, forgetting it if so. The
+// scan touches only live slots (word-at-a-time over the bitset); refunds
+// happen once per reordered late arrival, so this is off the hot path.
 func (w *missingWindow) refund(s uint32) bool {
-	if _, ok := w.set[s]; !ok {
-		return false
+	for wi, word := range w.live {
+		for word != 0 {
+			b := bits.TrailingZeros64(word)
+			word &^= 1 << b
+			slot := wi<<6 | b
+			if w.ring[slot] == s {
+				w.live[wi] &^= 1 << b
+				return true
+			}
+		}
 	}
-	delete(w.set, s)
-	return true
+	return false
 }
 
 // New builds a single-source client engine from a session descriptor.
@@ -131,13 +148,20 @@ func NewMultiSource(info proto.SessionInfo, sources, startLevel int, setLevel Le
 	return e, nil
 }
 
-// addSource registers a source whose controller starts at level.
+// addSource registers a source whose controller starts at level. The
+// per-layer serial and refund state is sized eagerly: a few KiB per
+// (source, layer) buys a steady-state intake with no allocation at all.
 func (e *Engine) addSource(id, level int) *source {
 	ctrl := layered.New(int(e.info.Layers) - 1)
 	ctrl.SetLevel(level)
+	layers := int(e.info.Layers)
+	if layers < 1 {
+		layers = 1
+	}
 	s := &source{
-		lastSerial: make(map[uint8]uint32),
-		missing:    make(map[uint8]*missingWindow),
+		lastSerial: make([]uint32, layers),
+		haveSerial: make([]bool, layers),
+		missing:    make([]missingWindow, layers),
 		ctrl:       ctrl,
 	}
 	e.sources[id] = s
@@ -213,6 +237,9 @@ func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 	if s == nil {
 		s = e.addSource(src, e.level)
 	}
+	if int(h.Group) >= len(s.missing) {
+		return e.rcv.Done(), fmt.Errorf("client: layer group %d out of range [0,%d)", h.Group, len(s.missing))
+	}
 	// Whole-download loss measurement from serial gaps, independently per
 	// source: each mirror stamps its own dense serial space, so mixing them
 	// would fabricate astronomical gaps. Serial arithmetic is modular: a
@@ -222,21 +249,17 @@ func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 	// of a gap are remembered (up to a bounded window), so a late arrival
 	// refunds its provisional loss exactly once — duplicates and genuinely
 	// foreign old serials refund nothing.
-	if last, ok := s.lastSerial[h.Group]; ok {
-		switch delta := h.Serial - last; {
+	if s.haveSerial[h.Group] {
+		switch delta := h.Serial - s.lastSerial[h.Group]; {
 		case delta == 0:
 			// Duplicate serial: nothing to account.
 		case delta < 1<<31:
 			s.lost += int(delta - 1)
 			if delta > 1 {
-				w := s.missing[h.Group]
-				if w == nil {
-					w = &missingWindow{set: make(map[uint32]struct{})}
-					s.missing[h.Group] = w
-				}
+				w := &s.missing[h.Group]
 				// Oldest-first so the window's FIFO eviction keeps the
 				// newest serials; a huge gap only records its tail.
-				lo := last + 1
+				lo := s.lastSerial[h.Group] + 1
 				if delta-1 > maxTrackedMissing {
 					lo = h.Serial - maxTrackedMissing
 				}
@@ -248,11 +271,12 @@ func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 		default:
 			// Late arrival from before lastSerial: refund its loss if it
 			// is one we counted.
-			if w := s.missing[h.Group]; w != nil && w.refund(h.Serial) {
+			if s.missing[h.Group].refund(h.Serial) {
 				s.lost--
 			}
 		}
 	} else {
+		s.haveSerial[h.Group] = true
 		s.lastSerial[h.Group] = h.Serial
 	}
 	s.received++
@@ -288,6 +312,26 @@ func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 		s.duplicate++
 	}
 	return done, nil
+}
+
+// HandleBatchFrom ingests a batch of wire packets received from one source
+// (the shape transport.MultiClient.RecvBatchFrom delivers). Processing
+// stops as soon as the file becomes decodable — trailing packets of the
+// final batch are not accounted, matching the per-packet loop a caller
+// would otherwise write. Stray datagrams (malformed, foreign session) are
+// skipped, the remaining packets still processed; the first such error is
+// returned for observability.
+func (e *Engine) HandleBatchFrom(src int, pkts [][]byte) (done bool, err error) {
+	for _, pkt := range pkts {
+		d, herr := e.HandlePacketFrom(src, pkt)
+		if herr != nil && err == nil {
+			err = herr
+		}
+		if d {
+			return true, err
+		}
+	}
+	return e.rcv.Done(), err
 }
 
 // Done reports whether the file is decodable.

@@ -30,7 +30,7 @@ func TestEndToEndSingleLayer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		bc := bus.NewClient(0, &netsim.Bernoulli{P: p, Rng: rng}, func(layer int, pkt []byte) {
+		bc := bus.NewClient(0, &netsim.Bernoulli{P: p, Rng: netsim.NewRNG(uint64(p * 1000))}, func(layer int, pkt []byte) {
 			eng.HandlePacket(pkt)
 		})
 		defer bc.Close()
@@ -85,7 +85,7 @@ func TestEndToEndLayered(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	bc = bus.NewClient(1, &netsim.Bernoulli{P: 0.1, Rng: rng}, func(layer int, pkt []byte) {
+	bc = bus.NewClient(1, &netsim.Bernoulli{P: 0.1, Rng: netsim.NewRNG(2)}, func(layer int, pkt []byte) {
 		eng.HandlePacket(pkt)
 	})
 	defer bc.Close()
@@ -127,7 +127,7 @@ func TestLayeredAdaptsDown(t *testing.T) {
 	bus := transport.NewBus(4)
 	var bc *transport.BusClient
 	eng, _ := New(sess.Info(), 3, func(level int) { bc.SetLevel(level) })
-	bc = bus.NewClient(3, &netsim.Bernoulli{P: 0.55, Rng: rng}, func(layer int, pkt []byte) {
+	bc = bus.NewClient(3, &netsim.Bernoulli{P: 0.55, Rng: netsim.NewRNG(3)}, func(layer int, pkt []byte) {
 		eng.HandlePacket(pkt)
 	})
 	defer bc.Close()

@@ -8,14 +8,93 @@
 //
 // including duplicate receptions caused by carousel wrap-around — exactly
 // the inefficiency Figures 4-6 quantify.
+//
+// The simulator is built to scale to populations far beyond the paper's:
+// per-receiver randomness is an inline splitmix64 generator (a single
+// uint64 of state — no math/rand allocation or 607-word seeding per
+// receiver), reception tracking is a per-worker reusable bitset instead of
+// a fresh []bool per receiver, and PopulationParallel shards the
+// population over dynamically balanced workers. A million receivers at
+// k=10000 is a routine run, bit-identical to the serial oracle.
 package netsim
 
 import (
-	"math/rand"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
-	"repro/internal/code"
 	"repro/internal/stats"
 )
+
+// RNG is the simulator's random number generator: splitmix64, a single
+// uint64 of state stepped and mixed per draw. It replaces math/rand's
+// *rand.Rand (whose default source allocates and seeds a 607-word table
+// per instance) so constructing one per simulated receiver costs a few
+// nanoseconds and eight bytes. The zero value is a valid generator seeded
+// with 0; NewRNG scatters the seed through the output mixer first so
+// small consecutive seeds yield uncorrelated streams.
+type RNG struct {
+	state uint64
+}
+
+// splitmix64 constants (Steele, Lea, Flood: "Fast Splittable Pseudorandom
+// Number Generators", OOPSLA 2014).
+const (
+	smGolden = 0x9e3779b97f4a7c15
+	smMixA   = 0xbf58476d1ce4e5b9
+	smMixB   = 0x94d049bb133111eb
+)
+
+// smMix is the splitmix64 output finalizer: a bijective avalanche over
+// uint64, also used to scatter seeds.
+func smMix(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * smMixA
+	z = (z ^ (z >> 27)) * smMixB
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator whose stream is determined by seed alone.
+func NewRNG(seed uint64) *RNG { return &RNG{state: smMix(seed)} }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += smGolden
+	return smMix(r.state)
+}
+
+// Float64 returns a uniform float64 in [0, 1): the top 53 bits of one
+// draw, exactly representable, so `Float64() < p` and the integer compare
+// `Uint64()>>11 < ceil(p·2^53)` decide identically.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("netsim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// floatBits is 2^53: the resolution of Float64 and of Bernoulli's integer
+// loss threshold.
+const floatBits = 1 << 53
+
+// bernThresh converts a loss probability into the integer threshold t such
+// that (Uint64()>>11) < t holds with probability p — and, bit for bit,
+// exactly when Float64() < p would hold on the same draw.
+func bernThresh(p float64) uint64 {
+	switch {
+	case p <= 0:
+		return 0
+	case p >= 1:
+		return floatBits
+	default:
+		return uint64(math.Ceil(p * floatBits))
+	}
+}
 
 // LossProcess decides the fate of successive transmissions to one
 // receiver. Implementations are stateful and not safe for concurrent use.
@@ -27,11 +106,29 @@ type LossProcess interface {
 // Bernoulli loses each packet independently with probability P.
 type Bernoulli struct {
 	P   float64
-	Rng *rand.Rand
+	Rng *RNG
+
+	// Cached integer threshold for P, recomputed when P changes. One draw
+	// and one compare per packet — no float division on the hot path.
+	thresh    uint64
+	threshFor float64
+	threshSet bool
+}
+
+// ensureThresh refreshes the cached threshold after a P change.
+func (b *Bernoulli) ensureThresh() {
+	if !b.threshSet || b.threshFor != b.P {
+		b.thresh = bernThresh(b.P)
+		b.threshFor = b.P
+		b.threshSet = true
+	}
 }
 
 // Lose implements LossProcess.
-func (b *Bernoulli) Lose() bool { return b.Rng.Float64() < b.P }
+func (b *Bernoulli) Lose() bool {
+	b.ensureThresh()
+	return b.Rng.Uint64()>>11 < b.thresh
+}
 
 // GilbertElliott is the classic two-state bursty loss model: in the good
 // state packets are lost with probability LossGood, in the bad state with
@@ -40,7 +137,7 @@ func (b *Bernoulli) Lose() bool { return b.Rng.Float64() < b.P }
 type GilbertElliott struct {
 	PGB, PBG          float64
 	LossGood, LossBad float64
-	Rng               *rand.Rand
+	Rng               *RNG
 	bad               bool
 }
 
@@ -160,13 +257,24 @@ func (r Reception) DistinctEfficiency() float64 {
 //
 // order may be nil (sequential carousel 0..n-1) or a permutation of [0,n)
 // (the randomized carousel of §7.1).
-func Carousel(dec Decodability, loss LossProcess, order []int, rng *rand.Rand, maxTx int) Reception {
+func Carousel(dec Decodability, loss LossProcess, order []int, rng *RNG, maxTx int) Reception {
+	return carouselSeen(dec, loss, order, rng, maxTx, make([]uint64, (dec.N()+63)/64))
+}
+
+// carouselSeen is Carousel over a caller-provided (zeroed) seen-bitset of
+// at least ceil(n/64) words — the population workers reuse one per worker
+// instead of allocating per receiver. Bernoulli loss takes a devirtualized
+// fast path; its draws and decisions are bit-identical to the generic
+// loop, so which path runs is unobservable in the results.
+func carouselSeen(dec Decodability, loss LossProcess, order []int, rng *RNG, maxTx int, seen []uint64) Reception {
 	n := dec.N()
 	if maxTx <= 0 {
 		maxTx = 1000 * n
 	}
 	pos := rng.Intn(n)
-	seen := make([]bool, n)
+	if b, ok := loss.(*Bernoulli); ok {
+		return carouselBernoulli(dec, b, order, maxTx, seen, n, pos)
+	}
 	var r Reception
 	for tx := 0; tx < maxTx; tx++ {
 		idx := pos
@@ -181,10 +289,54 @@ func Carousel(dec Decodability, loss LossProcess, order []int, rng *rand.Rand, m
 			continue
 		}
 		r.Received++
-		if !seen[idx] {
-			seen[idx] = true
+		w, bit := idx>>6, uint64(1)<<(idx&63)
+		if seen[w]&bit == 0 {
+			seen[w] |= bit
 			r.Distinct++
 			if dec.Receive(idx) {
+				r.Done = true
+				return r
+			}
+		}
+	}
+	return r
+}
+
+// carouselBernoulli is the hot inner loop at population scale: inlined
+// splitmix64 draw, integer loss threshold, bitset dedup, and a concrete
+// fast path for ThresholdDecoder (the ideal/Tornado stopping rule). Every
+// random decision matches the generic loop bit for bit.
+func carouselBernoulli(dec Decodability, b *Bernoulli, order []int, maxTx int, seen []uint64, n, pos int) Reception {
+	b.ensureThresh()
+	thresh := b.thresh
+	rng := b.Rng
+	td, isThreshold := dec.(*ThresholdDecoder)
+	var r Reception
+	for tx := 0; tx < maxTx; tx++ {
+		idx := pos
+		if order != nil {
+			idx = order[pos]
+		}
+		pos++
+		if pos == n {
+			pos = 0
+		}
+		if rng.Uint64()>>11 < thresh {
+			continue
+		}
+		r.Received++
+		w, bit := idx>>6, uint64(1)<<(idx&63)
+		if seen[w]&bit == 0 {
+			seen[w] |= bit
+			r.Distinct++
+			var done bool
+			if isThreshold {
+				td.got++
+				done = td.got >= td.Need
+			} else {
+				done = dec.Receive(idx)
+			}
+			if done {
 				r.Done = true
 				return r
 			}
@@ -198,44 +350,85 @@ func Carousel(dec Decodability, loss LossProcess, order []int, rng *rand.Rand, m
 // process, and carousel join offset — is derived only from (seed, i), so a
 // population produces bit-identical results regardless of execution order:
 // serial and parallel runs agree, and so do runs with different worker
-// counts. The mixer is splitmix64, so neighbouring receiver indices get
-// statistically independent streams.
-func ReceiverRNG(seed int64, i int) *rand.Rand {
-	z := uint64(seed) + 0x9e3779b97f4a7c15*uint64(i+1)
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return rand.New(rand.NewSource(int64(z)))
+// counts. The (seed, i) pair is scattered through the splitmix64 mixer, so
+// neighbouring receiver indices get statistically independent streams.
+func ReceiverRNG(seed int64, i int) *RNG {
+	return &RNG{state: smMix(uint64(seed) + smGolden*uint64(i+1))}
 }
 
 // Population simulates `receivers` i.i.d. receivers serially and returns
 // their reception efficiencies. mkDec and mkLoss build fresh per-receiver
 // state from the receiver's own deterministic RNG (see ReceiverRNG).
-func Population(receivers int, k int, mkDec func(rng *rand.Rand) Decodability, mkLoss func(rng *rand.Rand) LossProcess, order []int, seed int64) []float64 {
+func Population(receivers int, k int, mkDec func(rng *RNG) Decodability, mkLoss func(rng *RNG) LossProcess, order []int, seed int64) []float64 {
 	out := make([]float64, receivers)
-	populationRange(out, 0, receivers, k, mkDec, mkLoss, order, seed)
+	var scratch []uint64
+	populationRange(out, 0, receivers, k, mkDec, mkLoss, order, seed, &scratch)
 	return out
 }
+
+// popShard is the number of receivers one worker claims per grab: small
+// enough that slow receivers don't strand a worker with a long static
+// chunk, large enough that the atomic counter is cold.
+const popShard = 1024
 
 // PopulationParallel is Population fanned out over the CPU with
-// code.ParallelChunks. Because every receiver's randomness is derived
-// independently from (seed, i), the result is bit-identical to the serial
-// Population for the same arguments — thousands of simulated receivers
-// across several sessions run concurrently without losing reproducibility.
-// mkDec and mkLoss must be safe for concurrent calls (each invocation gets
-// its own rng; they should not share other mutable state).
-func PopulationParallel(receivers int, k int, mkDec func(rng *rand.Rand) Decodability, mkLoss func(rng *rand.Rand) LossProcess, order []int, seed int64) []float64 {
+// dynamically balanced shard workers: each worker owns one reusable
+// seen-bitset and claims popShard receivers at a time from an atomic
+// cursor. Because every receiver's randomness is derived independently
+// from (seed, i), the result is bit-identical to the serial Population for
+// the same arguments — a million simulated receivers run concurrently
+// without losing reproducibility. mkDec and mkLoss must be safe for
+// concurrent calls (each invocation gets its own rng; they should not
+// share other mutable state).
+func PopulationParallel(receivers int, k int, mkDec func(rng *RNG) Decodability, mkLoss func(rng *RNG) LossProcess, order []int, seed int64) []float64 {
 	out := make([]float64, receivers)
-	code.ParallelChunks(receivers, func(lo, hi int) {
-		populationRange(out, lo, hi, k, mkDec, mkLoss, order, seed)
-	})
+	workers := runtime.GOMAXPROCS(0)
+	if workers > (receivers+popShard-1)/popShard {
+		workers = (receivers + popShard - 1) / popShard
+	}
+	if workers <= 1 {
+		var scratch []uint64
+		populationRange(out, 0, receivers, k, mkDec, mkLoss, order, seed, &scratch)
+		return out
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var scratch []uint64
+			for {
+				lo := int(next.Add(popShard)) - popShard
+				if lo >= receivers {
+					return
+				}
+				hi := lo + popShard
+				if hi > receivers {
+					hi = receivers
+				}
+				populationRange(out, lo, hi, k, mkDec, mkLoss, order, seed, &scratch)
+			}
+		}()
+	}
+	wg.Wait()
 	return out
 }
 
-func populationRange(out []float64, lo, hi, k int, mkDec func(rng *rand.Rand) Decodability, mkLoss func(rng *rand.Rand) LossProcess, order []int, seed int64) {
+// populationRange simulates receivers [lo, hi), reusing *scratch as the
+// seen-bitset across receivers (cleared, not reallocated, per receiver).
+func populationRange(out []float64, lo, hi, k int, mkDec func(rng *RNG) Decodability, mkLoss func(rng *RNG) LossProcess, order []int, seed int64, scratch *[]uint64) {
 	for i := lo; i < hi; i++ {
 		rng := ReceiverRNG(seed, i)
-		r := Carousel(mkDec(rng), mkLoss(rng), order, rng, 0)
+		dec := mkDec(rng)
+		loss := mkLoss(rng)
+		words := (dec.N() + 63) / 64
+		if cap(*scratch) < words {
+			*scratch = make([]uint64, words)
+		}
+		seen := (*scratch)[:words]
+		clear(seen)
+		r := carouselSeen(dec, loss, order, rng, 0, seen)
 		out[i] = r.Efficiency(k)
 	}
 }

@@ -8,8 +8,83 @@ import (
 	"repro/internal/stats"
 )
 
+func TestRNGDeterministicAndSeedSensitive(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("seeds 42/43 collide on %d of 1000 draws", same)
+	}
+	// Float64 must stay in [0,1) and look uniform-ish.
+	r := NewRNG(7)
+	sum := 0.0
+	for i := 0; i < 100000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	if mean := sum / 100000; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean %v, want ~0.5", mean)
+	}
+}
+
+func TestReceiverRNGStreamsUncorrelated(t *testing.T) {
+	// Adjacent receivers must not be shifted copies of one another: the
+	// seed scattering has to break the lockstep that raw splitmix64 states
+	// seed + c·i would otherwise have.
+	a := ReceiverRNG(1, 10)
+	b := ReceiverRNG(1, 11)
+	av := make([]uint64, 64)
+	for i := range av {
+		av[i] = a.Uint64()
+	}
+	for shift := 0; shift < 32; shift++ {
+		bv := ReceiverRNG(1, 11)
+		for s := 0; s < shift; s++ {
+			bv.Uint64()
+		}
+		match := 0
+		for i := 0; i < 32; i++ {
+			if av[i] == bv.Uint64() {
+				match++
+			}
+		}
+		if match > 1 {
+			t.Fatalf("receiver 11 at shift %d matches receiver 10 on %d of 32 draws", shift, match)
+		}
+	}
+	_ = b
+}
+
+func TestBernoulliThresholdMatchesFloatCompare(t *testing.T) {
+	// The integer fast path must make exactly the decision Float64() < P
+	// would make on the same draw, for awkward P values included.
+	for _, p := range []float64{0, 1e-12, 0.1, 0.3, 0.5, 1 / 3.0, 0.999999, 1, 1.5, -0.2} {
+		b := &Bernoulli{P: p, Rng: NewRNG(99)}
+		ref := NewRNG(99)
+		for i := 0; i < 20000; i++ {
+			want := ref.Float64() < p
+			if got := b.Lose(); got != want {
+				t.Fatalf("P=%v draw %d: Lose=%v, Float64 compare=%v", p, i, got, want)
+			}
+		}
+	}
+}
+
 func TestBernoulliRate(t *testing.T) {
-	b := &Bernoulli{P: 0.3, Rng: rand.New(rand.NewSource(1))}
+	b := &Bernoulli{P: 0.3, Rng: NewRNG(1)}
 	lost := 0
 	for i := 0; i < 100000; i++ {
 		if b.Lose() {
@@ -22,7 +97,7 @@ func TestBernoulliRate(t *testing.T) {
 }
 
 func TestGilbertElliottMeanAndBursts(t *testing.T) {
-	g := &GilbertElliott{PGB: 0.01, PBG: 0.1, LossGood: 0.01, LossBad: 0.5, Rng: rand.New(rand.NewSource(2))}
+	g := &GilbertElliott{PGB: 0.01, PBG: 0.1, LossGood: 0.01, LossBad: 0.5, Rng: NewRNG(2)}
 	want := g.MeanLoss()
 	lost := 0
 	runs := 0
@@ -83,7 +158,7 @@ func TestBlockDecoder(t *testing.T) {
 
 func TestCarouselLosslessExactlyK(t *testing.T) {
 	// With no loss, an ideal k-of-n receiver needs exactly k receptions.
-	rng := rand.New(rand.NewSource(3))
+	rng := NewRNG(3)
 	for trial := 0; trial < 20; trial++ {
 		dec := &ThresholdDecoder{NTotal: 100, Need: 50}
 		r := Carousel(dec, &Bernoulli{P: 0, Rng: rng}, nil, rng, 0)
@@ -96,7 +171,7 @@ func TestCarouselLosslessExactlyK(t *testing.T) {
 func TestCarouselHighLossWrapsAndDuplicates(t *testing.T) {
 	// At 50% loss with threshold k = n/2, the receiver must wrap and see
 	// duplicates, so distinct efficiency < 1.
-	rng := rand.New(rand.NewSource(4))
+	rng := NewRNG(4)
 	dups := 0
 	for trial := 0; trial < 50; trial++ {
 		dec := &ThresholdDecoder{NTotal: 200, Need: 100}
@@ -117,8 +192,8 @@ func TestCarouselHighLossWrapsAndDuplicates(t *testing.T) {
 }
 
 func TestCarouselRandomOrderCoversAll(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
-	order := rng.Perm(64)
+	order := rand.New(rand.NewSource(5)).Perm(64)
+	rng := NewRNG(5)
 	dec := &ThresholdDecoder{NTotal: 64, Need: 64}
 	r := Carousel(dec, &Bernoulli{P: 0, Rng: rng}, order, rng, 0)
 	if !r.Done || r.Distinct != 64 || r.Received != 64 {
@@ -127,11 +202,49 @@ func TestCarouselRandomOrderCoversAll(t *testing.T) {
 }
 
 func TestCarouselMaxTx(t *testing.T) {
-	rng := rand.New(rand.NewSource(6))
+	rng := NewRNG(6)
 	dec := &ThresholdDecoder{NTotal: 10, Need: 10}
 	r := Carousel(dec, &Bernoulli{P: 1.0, Rng: rng}, nil, rng, 100)
 	if r.Done || r.Received != 0 {
 		t.Fatalf("full loss must never finish: %+v", r)
+	}
+}
+
+// opaqueLoss hides a LossProcess's concrete type from the carousel's
+// devirtualized fast path, forcing the generic loop.
+type opaqueLoss struct{ p LossProcess }
+
+func (o opaqueLoss) Lose() bool { return o.p.Lose() }
+
+// TestCarouselFastPathBitIdentical: the Bernoulli/ThresholdDecoder fast
+// loops must reproduce the generic loop's results exactly — same draws,
+// same decisions — so devirtualization is unobservable.
+func TestCarouselFastPathBitIdentical(t *testing.T) {
+	order := rand.New(rand.NewSource(11)).Perm(300)
+	for _, p := range []float64{0.1, 0.5, 1 / 3.0} {
+		for _, ord := range [][]int{nil, order} {
+			for trial := 0; trial < 10; trial++ {
+				seed := uint64(trial)*1000 + uint64(p*100)
+				mk := func() (*RNG, Decodability, Decodability) {
+					rng := NewRNG(seed)
+					return rng, &ThresholdDecoder{NTotal: 300, Need: 150}, NewBlockDecoder(300, 10, 15)
+				}
+				rngA, tdA, _ := mk()
+				fast := Carousel(tdA, &Bernoulli{P: p, Rng: rngA}, ord, rngA, 0)
+				rngB, tdB, _ := mk()
+				slow := Carousel(tdB, opaqueLoss{&Bernoulli{P: p, Rng: rngB}}, ord, rngB, 0)
+				if fast != slow {
+					t.Fatalf("p=%v trial %d: fast %+v != generic %+v", p, trial, fast, slow)
+				}
+				rngC, _, bdC := mk()
+				fastBD := Carousel(bdC, &Bernoulli{P: p, Rng: rngC}, ord, rngC, 0)
+				rngD, _, bdD := mk()
+				slowBD := Carousel(bdD, opaqueLoss{&Bernoulli{P: p, Rng: rngD}}, ord, rngD, 0)
+				if fastBD != slowBD {
+					t.Fatalf("p=%v trial %d block: fast %+v != generic %+v", p, trial, fastBD, slowBD)
+				}
+			}
+		}
 	}
 }
 
@@ -141,14 +254,14 @@ func TestInterleavedWorseThanIdealAtHighLoss(t *testing.T) {
 	k := 1024
 	n := 2 * k
 	blocks := k / 20
-	ideal := Population(200, k, func(*rand.Rand) Decodability {
+	ideal := Population(200, k, func(*RNG) Decodability {
 		return &ThresholdDecoder{NTotal: n, Need: k}
-	}, func(rng *rand.Rand) LossProcess {
+	}, func(rng *RNG) LossProcess {
 		return &Bernoulli{P: 0.5, Rng: rng}
 	}, nil, 7)
-	inter := Population(200, k, func(*rand.Rand) Decodability {
+	inter := Population(200, k, func(*RNG) Decodability {
 		return NewBlockDecoder(n, blocks, 20)
-	}, func(rng *rand.Rand) LossProcess {
+	}, func(rng *RNG) LossProcess {
 		return &Bernoulli{P: 0.5, Rng: rng}
 	}, nil, 7)
 	si, sn := stats.Summarize(ideal), stats.Summarize(inter)
@@ -161,7 +274,7 @@ func TestInterleavedWorseThanIdealAtHighLoss(t *testing.T) {
 }
 
 func TestWorstOfRDecreases(t *testing.T) {
-	rng := rand.New(rand.NewSource(8))
+	rng := NewRNG(8)
 	sample := make([]float64, 2000)
 	for i := range sample {
 		sample[i] = 0.8 + 0.2*rng.Float64()
@@ -180,7 +293,7 @@ func TestWorstOfRDecreases(t *testing.T) {
 }
 
 func TestVaryingAlternates(t *testing.T) {
-	rng := rand.New(rand.NewSource(9))
+	rng := NewRNG(9)
 	v := &Varying{
 		Calm:      &Bernoulli{P: 0, Rng: rng},
 		Congested: &Bernoulli{P: 1, Rng: rng},
@@ -210,13 +323,13 @@ func TestVaryingAlternates(t *testing.T) {
 func TestPopulationParallelBitIdentical(t *testing.T) {
 	k := 512
 	n := 2 * k
-	mkDec := func(rng *rand.Rand) Decodability {
+	mkDec := func(rng *RNG) Decodability {
 		// Consume receiver randomness in the factory too, so the test
 		// catches any RNG sharing between construction and simulation.
 		need := k + rng.Intn(k/10)
 		return &ThresholdDecoder{NTotal: n, Need: need}
 	}
-	mkLoss := func(rng *rand.Rand) LossProcess {
+	mkLoss := func(rng *RNG) LossProcess {
 		return &GilbertElliott{PGB: 0.02, PBG: 0.1, LossGood: 0.02, LossBad: 0.6, Rng: rng}
 	}
 	for _, seed := range []int64{1, 7, 1998} {
@@ -226,6 +339,17 @@ func TestPopulationParallelBitIdentical(t *testing.T) {
 			if serial[i] != parallel[i] {
 				t.Fatalf("seed %d receiver %d: serial %v != parallel %v", seed, i, serial[i], parallel[i])
 			}
+		}
+	}
+	// Populations spanning several shards must still agree (the shard size
+	// is popShard; 3·popShard+17 exercises uneven tails).
+	mkB := func(rng *RNG) LossProcess { return &Bernoulli{P: 0.2, Rng: rng} }
+	nBig := 3*popShard + 17
+	serial := Population(nBig, k, mkDec, mkB, nil, 5)
+	parallel := PopulationParallel(nBig, k, mkDec, mkB, nil, 5)
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Fatalf("sharded receiver %d: serial %v != parallel %v", i, serial[i], parallel[i])
 		}
 	}
 	// And different seeds must actually differ.

@@ -47,7 +47,7 @@ var lossGrid = []float64{0.01, 0.05, 0.10, 0.20, 0.50}
 // interleaved code over K packets keeps reception overhead below 0.07 in
 // at least 99% of trials (the Table 4 criterion, matching Tornado A's
 // overhead guarantee).
-func maxBlocksFor(K int, p float64, trials int, rng *rand.Rand) int {
+func maxBlocksFor(K int, p float64, trials int, rng *netsim.RNG) int {
 	feasible := func(blocks int) bool {
 		blockK := K / blocks
 		if blockK < 1 {
@@ -110,6 +110,7 @@ func Table4(w io.Writer, o Options) error {
 	}
 	fprintf(w, "\n")
 	rng := rand.New(rand.NewSource(o.Seed + 4))
+	simRng := netsim.NewRNG(uint64(o.Seed + 4))
 	trials := o.trials(100)
 	// Cache per-block Cauchy decode times by block size.
 	blockDecode := map[int]time.Duration{}
@@ -157,7 +158,7 @@ func Table4(w io.Writer, o Options) error {
 		}
 		fprintf(w, "%-10s", sizeName(kb))
 		for _, p := range lossGrid {
-			blocks := maxBlocksFor(K, p, trials, rng)
+			blocks := maxBlocksFor(K, p, trials, simRng)
 			blockK := K / blocks
 			bd, err := measureBlock(blockK)
 			if err != nil {
@@ -166,7 +167,7 @@ func Table4(w io.Writer, o Options) error {
 			interleaved := time.Duration(blocks) * bd
 			fprintf(w, " %-12.1f", float64(interleaved)/float64(tDec))
 		}
-		fprintf(w, "   (blocks at p=0.5: %d)\n", maxBlocksFor(K, 0.5, trials, rng))
+		fprintf(w, "   (blocks at p=0.5: %d)\n", maxBlocksFor(K, 0.5, trials, simRng))
 	}
 	return nil
 }
@@ -174,12 +175,12 @@ func Table4(w io.Writer, o Options) error {
 // tornadoDecodability builds a per-receiver decodability factory for the
 // population simulations: done when distinct receptions reach (1+eps)k
 // with eps drawn from the variant's real measured overhead distribution.
-func tornadoDecodability(p tornado.Params, k, n int, seed int64) (func(rng *rand.Rand) netsim.Decodability, error) {
+func tornadoDecodability(p tornado.Params, k, n int, seed int64) (func(rng *netsim.RNG) netsim.Decodability, error) {
 	cdf, err := overheadCDF(p, k, seed)
 	if err != nil {
 		return nil, err
 	}
-	return func(rng *rand.Rand) netsim.Decodability {
+	return func(rng *netsim.RNG) netsim.Decodability {
 		eps := cdf.Sample(rng.Float64())
 		need := int(float64(k) * (1 + eps))
 		if need > n {
@@ -212,21 +213,21 @@ func Fig4(w io.Writer, o Options) error {
 		fprintf(w, "Figure 4: Reception efficiency, 1MB file, p = %.1f\n", p)
 		type curve struct {
 			name string
-			mk   func(rng *rand.Rand) netsim.Decodability
+			mk   func(rng *netsim.RNG) netsim.Decodability
 		}
 		curves := []curve{
 			{"Tornado A", tdFactory},
-			{"Interleaved k=50", func(*rand.Rand) netsim.Decodability {
+			{"Interleaved k=50", func(*netsim.RNG) netsim.Decodability {
 				blocks := k / 50
 				return netsim.NewBlockDecoder(2*50*blocks, blocks, 50)
 			}},
-			{"Interleaved k=20", func(*rand.Rand) netsim.Decodability {
+			{"Interleaved k=20", func(*netsim.RNG) netsim.Decodability {
 				blocks := k / 20
 				return netsim.NewBlockDecoder(2*20*blocks, blocks, 20)
 			}},
 		}
 		for _, c := range curves {
-			effs := netsim.PopulationParallel(sample, k, c.mk, func(rng *rand.Rand) netsim.LossProcess {
+			effs := netsim.PopulationParallel(sample, k, c.mk, func(rng *netsim.RNG) netsim.LossProcess {
 				return &netsim.Bernoulli{P: p, Rng: rng}
 			}, nil, o.Seed+11)
 			fprintf(w, "  %-18s avg=%.3f  worst-of-R:", c.name, stats.Summarize(effs).Mean)
@@ -261,9 +262,9 @@ func Fig5(w io.Writer, o Options) error {
 				return err
 			}
 			row := fmt.Sprintf("  %-10s", sizeName(kb))
-			factories := []func(rng *rand.Rand) netsim.Decodability{
+			factories := []func(rng *netsim.RNG) netsim.Decodability{
 				td,
-				func(*rand.Rand) netsim.Decodability {
+				func(*netsim.RNG) netsim.Decodability {
 					bk := 50
 					if bk > k {
 						bk = k
@@ -271,13 +272,13 @@ func Fig5(w io.Writer, o Options) error {
 					blocks := (k + bk - 1) / bk
 					return netsim.NewBlockDecoder(2*bk*blocks, blocks, bk)
 				},
-				func(*rand.Rand) netsim.Decodability {
+				func(*netsim.RNG) netsim.Decodability {
 					blocks := k / 20
 					return netsim.NewBlockDecoder(2*20*blocks, blocks, 20)
 				},
 			}
 			for _, mk := range factories {
-				effs := netsim.PopulationParallel(sample, k, mk, func(rng *rand.Rand) netsim.LossProcess {
+				effs := netsim.PopulationParallel(sample, k, mk, func(rng *netsim.RNG) netsim.LossProcess {
 					return &netsim.Bernoulli{P: p, Rng: rng}
 				}, nil, o.Seed+13)
 				row += fmt.Sprintf(" %8.3f/%-13.3f", stats.Summarize(effs).Mean, netsim.WorstOfR(effs, receivers))
@@ -303,7 +304,7 @@ func Fig6(w io.Writer, o Options) error {
 	fprintf(w, "Figure 6: Trace-driven reception efficiency (%d receivers, mean loss %.3f)\n",
 		len(traces), trace.MeanLoss(traces))
 	fprintf(w, "  %-10s %-12s %-12s %-12s\n", "SIZE", "TornadoA", "Intl k=50", "Intl k=20")
-	rng := rand.New(rand.NewSource(o.Seed + 17))
+	rng := netsim.NewRNG(uint64(o.Seed + 17))
 	for _, kb := range sizes {
 		k := kb
 		n := 2 * k
@@ -311,13 +312,13 @@ func Fig6(w io.Writer, o Options) error {
 		if err != nil {
 			return err
 		}
-		factories := []func(rng *rand.Rand) netsim.Decodability{
+		factories := []func(rng *netsim.RNG) netsim.Decodability{
 			td,
-			func(*rand.Rand) netsim.Decodability {
+			func(*netsim.RNG) netsim.Decodability {
 				blocks := (k + 49) / 50
 				return netsim.NewBlockDecoder(2*50*blocks, blocks, 50)
 			},
-			func(*rand.Rand) netsim.Decodability {
+			func(*netsim.RNG) netsim.Decodability {
 				blocks := k / 20
 				return netsim.NewBlockDecoder(2*20*blocks, blocks, 20)
 			},

@@ -26,6 +26,7 @@ func Fig8(w io.Writer, o Options) error {
 	rng := rand.New(rand.NewSource(o.Seed + 19))
 	data := make([]byte, fileKB*1024)
 	rng.Read(data)
+	lossRng := netsim.NewRNG(uint64(o.Seed + 19))
 
 	run := func(layers int, p float64, startLevel int) (loss, eta, etaC, etaD float64, err error) {
 		cfg := core.DefaultConfig()
@@ -41,7 +42,7 @@ func Fig8(w io.Writer, o Options) error {
 		if err != nil {
 			return 0, 0, 0, 0, err
 		}
-		bc = bus.NewClient(startLevel, &netsim.Bernoulli{P: p, Rng: rng}, func(_ int, pkt []byte) {
+		bc = bus.NewClient(startLevel, &netsim.Bernoulli{P: p, Rng: lossRng}, func(_ int, pkt []byte) {
 			eng.HandlePacket(pkt)
 		})
 		defer bc.Close()

@@ -118,7 +118,7 @@ func Generate(p GenParams) []*Trace {
 		pgb := pbg * pBad / (1 - pBad)
 		g := &netsim.GilbertElliott{
 			PGB: pgb, PBG: pbg, LossGood: lossGood, LossBad: lossBad,
-			Rng: rand.New(rand.NewSource(p.Seed + int64(i)*7919)),
+			Rng: netsim.NewRNG(uint64(p.Seed + int64(i)*7919)),
 		}
 		tr := &Trace{Receiver: fmt.Sprintf("r%03d", i), Lost: make([]bool, p.Length)}
 		for j := range tr.Lost {

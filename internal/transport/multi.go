@@ -11,25 +11,41 @@ import (
 // MultiClient joins the same session on several fountain servers at once —
 // the receiver half of the §8 mirrored-server application. Each source is
 // an independent UDPClient (own socket, own subscription state); one
-// goroutine per source funnels arriving datagrams, tagged with their source
-// index, into a single queue the caller drains with Recv. Because fountain
-// packets from mirrors of one encoding are interchangeable, no coordination
-// between the sources is needed: the client engine simply decodes the
-// union.
+// goroutine per source drains its socket in batches (RecvBatch — recvmmsg
+// on linux/amd64) and hands whole batches, tagged with their source index,
+// to the consumer through a fixed set of recycled batch carriers. Because
+// fountain packets from mirrors of one encoding are interchangeable, no
+// coordination between the sources is needed: the client engine simply
+// decodes the union.
+//
+// The handoff is allocation-free in steady state: a bounded ring of
+// sourcedBatch carriers cycles between a free channel and the delivery
+// channel, each carrying its own pooled receive buffers. Compared to the
+// old per-packet channel sends, a 32-datagram burst costs one channel
+// round-trip instead of 32.
 type MultiClient struct {
 	clients []*UDPClient
-	ch      chan sourcedPacket
+	ch      chan *sourcedBatch // filled batches, pull → consumer
+	free    chan *sourcedBatch // empty carriers, consumer → pull
 	done    chan struct{}
 	wg      sync.WaitGroup
 	closing sync.Once
 
 	mu    sync.Mutex
 	level int
+
+	// Consumer-side cursor over the batch being drained. Recv* calls are
+	// single-consumer (like UDPClient receives): run one receive loop per
+	// MultiClient.
+	cur     *sourcedBatch
+	curNext int
 }
 
-type sourcedPacket struct {
+// sourcedBatch is one batch handoff carrier: a receive batch plus the
+// index of the source that filled it.
+type sourcedBatch struct {
 	src int
-	pkt []byte
+	rb  RecvBatch
 }
 
 // NewMultiClient dials every server's data port and subscribes each to
@@ -40,10 +56,18 @@ func NewMultiClient(servers []*net.UDPAddr, session uint16, level int) (*MultiCl
 	if len(servers) == 0 {
 		return nil, errors.New("transport: multi-client needs at least one server")
 	}
+	// Carrier count: one in flight per source, one being drained by the
+	// consumer, and slack so a source never stalls waiting for a carrier
+	// while the consumer holds one.
+	carriers := 2*len(servers) + 2
 	m := &MultiClient{
-		ch:    make(chan sourcedPacket, 1024),
+		ch:    make(chan *sourcedBatch, carriers),
+		free:  make(chan *sourcedBatch, carriers),
 		done:  make(chan struct{}),
 		level: level,
+	}
+	for i := 0; i < carriers; i++ {
+		m.free <- &sourcedBatch{}
 	}
 	for i, addr := range servers {
 		c, err := NewUDPClientSession(addr, session, level)
@@ -60,23 +84,43 @@ func NewMultiClient(servers []*net.UDPAddr, session uint16, level int) (*MultiCl
 	return m, nil
 }
 
-// pull is one source's read loop: socket → tagged queue.
+// SetRecvSize sets the per-datagram receive buffer capacity on every
+// source (see UDPClient.SetRecvSize). Call before the first packets flow.
+func (m *MultiClient) SetRecvSize(n int) {
+	for _, c := range m.clients {
+		c.SetRecvSize(n)
+	}
+}
+
+// pull is one source's read loop: socket → batch → tagged handoff.
 func (m *MultiClient) pull(src int, c *UDPClient) {
 	defer m.wg.Done()
 	for {
+		var sb *sourcedBatch
 		select {
+		case sb = <-m.free:
 		case <-m.done:
 			return
-		default:
 		}
 		// A short read deadline doubles as the shutdown poll interval.
-		pkt, ok := c.Recv(250 * time.Millisecond)
-		if !ok {
-			continue // timeout or closing socket; the done check decides
+		_, err := c.RecvBatch(&sb.rb, 250*time.Millisecond)
+		if err != nil {
+			m.free <- sb
+			if err == ErrClosed {
+				return // socket is gone for good: stop polling it
+			}
+			select {
+			case <-m.done:
+				return
+			default:
+				continue // timeout (or transient error): poll again
+			}
 		}
+		sb.src = src
 		select {
-		case m.ch <- sourcedPacket{src: src, pkt: pkt}:
+		case m.ch <- sb:
 		case <-m.done:
+			m.free <- sb
 			return
 		}
 	}
@@ -85,32 +129,92 @@ func (m *MultiClient) pull(src int, c *UDPClient) {
 // Sources returns the number of joined servers.
 func (m *MultiClient) Sources() int { return len(m.clients) }
 
-// Recv blocks for the next packet from any source (with timeout),
-// returning the index of the server that sent it. ok=false on timeout or
-// close.
-func (m *MultiClient) Recv(timeout time.Duration) (src int, pkt []byte, ok bool) {
+// recycle hands the consumer's current batch carrier back to the pull
+// loops and clears the cursor.
+func (m *MultiClient) recycle() {
+	if m.cur != nil {
+		m.free <- m.cur
+		m.cur = nil
+		m.curNext = 0
+	}
+}
+
+// nextBatch recycles the current carrier and blocks up to timeout for the
+// next filled one. Errors: ErrTimeout, ErrClosed.
+func (m *MultiClient) nextBatch(timeout time.Duration) (*sourcedBatch, error) {
+	m.recycle()
 	select {
 	case <-m.done:
-		return 0, nil, false // closed: don't drain stale buffered packets
+		return nil, ErrClosed // closed: don't drain stale buffered batches
 	default:
 	}
-	// Fast path: a buffered packet needs no timer — on a busy stream this
-	// keeps the per-packet cost to one channel receive.
+	// Fast path: a buffered batch needs no timer — on a busy stream this
+	// keeps the per-batch cost to one channel receive.
 	select {
-	case sp := <-m.ch:
-		return sp.src, sp.pkt, true
+	case sb := <-m.ch:
+		m.cur = sb
+		return sb, nil
 	default:
 	}
 	t := time.NewTimer(timeout)
 	defer t.Stop()
 	select {
-	case sp := <-m.ch:
-		return sp.src, sp.pkt, true
+	case sb := <-m.ch:
+		m.cur = sb
+		return sb, nil
 	case <-m.done:
-		return 0, nil, false
+		return nil, ErrClosed
 	case <-t.C:
-		return 0, nil, false
+		return nil, ErrTimeout
 	}
+}
+
+// RecvBatchFrom blocks up to timeout for the next batch of packets from
+// any source and returns the packets with the index of the server that
+// sent them. If a batch partially drained by RecvFrom is pending, its
+// remainder is returned first, so the two call styles mix without losing
+// packets. The returned views are valid until the next Recv/RecvFrom/
+// RecvBatchFrom call on this client (which recycles the carrier). Errors:
+// ErrTimeout, ErrClosed.
+func (m *MultiClient) RecvBatchFrom(timeout time.Duration) (src int, pkts [][]byte, err error) {
+	if m.cur != nil && m.curNext < len(m.cur.rb.pkts) {
+		pkts = m.cur.rb.pkts[m.curNext:]
+		m.curNext = len(m.cur.rb.pkts)
+		return m.cur.src, pkts, nil
+	}
+	sb, err := m.nextBatch(timeout)
+	if err != nil {
+		return 0, nil, err
+	}
+	m.curNext = len(sb.rb.pkts) // the whole batch is handed out at once
+	return sb.src, sb.rb.pkts, nil
+}
+
+// RecvFrom blocks up to timeout for the next packet from any source,
+// returning the index of the server that sent it. The packet view is
+// valid until its batch is exhausted and a further Recv* call recycles
+// it — copy to keep (decoders in this repository copy on Add). Errors:
+// ErrTimeout, ErrClosed.
+func (m *MultiClient) RecvFrom(timeout time.Duration) (src int, pkt []byte, err error) {
+	if m.cur != nil && m.curNext < len(m.cur.rb.pkts) {
+		pkt = m.cur.rb.pkts[m.curNext]
+		m.curNext++
+		return m.cur.src, pkt, nil
+	}
+	sb, err := m.nextBatch(timeout)
+	if err != nil {
+		return 0, nil, err
+	}
+	m.curNext = 1
+	return sb.src, sb.rb.pkts[0], nil
+}
+
+// Recv blocks for the next packet from any source (with timeout),
+// returning the index of the server that sent it. ok=false on timeout or
+// close; use RecvFrom when the two must be distinguished.
+func (m *MultiClient) Recv(timeout time.Duration) (src int, pkt []byte, ok bool) {
+	src, pkt, err := m.RecvFrom(timeout)
+	return src, pkt, err == nil
 }
 
 // SetLevel adjusts the cumulative subscription level on every source — the
@@ -149,8 +253,19 @@ func (m *MultiClient) Rejoin(src int) error {
 	return m.clients[src].Resubscribe()
 }
 
-// Close unsubscribes and closes every source socket and waits for the
-// funnel goroutines to exit.
+// Closed reports whether Close has been called.
+func (m *MultiClient) Closed() bool {
+	select {
+	case <-m.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Close unsubscribes and closes every source socket, waits for the funnel
+// goroutines to exit, and releases the pooled receive buffers held by the
+// batch carriers.
 func (m *MultiClient) Close() error {
 	var first error
 	m.closing.Do(func() {
@@ -161,6 +276,22 @@ func (m *MultiClient) Close() error {
 			}
 		}
 		m.wg.Wait()
+		// All producers are gone: drain both channels and the consumer's
+		// cursor, returning buffer memory to the shared pool.
+		if m.cur != nil {
+			m.cur.rb.Free()
+			m.cur = nil
+		}
+		for {
+			select {
+			case sb := <-m.ch:
+				sb.rb.Free()
+			case sb := <-m.free:
+				sb.rb.Free()
+			default:
+				return
+			}
+		}
 	})
 	return first
 }

@@ -1,0 +1,269 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/proto"
+)
+
+// TestRecvBatchLoopback drives enough packets through the real socket path
+// to force multiple fills (and, on linux/amd64, multi-datagram recvmmsg
+// fills) and checks that every packet arrives intact and in order.
+func TestRecvBatchLoopback(t *testing.T) {
+	s, err := NewUDPServer("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := NewUDPClientSession(s.Addr(), 0xBA7C, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.SessionSubscribers(0xBA7C, 0) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	const n = 150 // > 4 * recvChunk: several fills even if each drains a full chunk
+	batch := make([][]byte, n)
+	for i := range batch {
+		batch[i] = testPacket(0xBA7C, 0, uint32(i+1), []byte(fmt.Sprintf("r%03d", i)))
+	}
+	if err := s.SendBatch(0, batch); err != nil {
+		t.Fatal(err)
+	}
+	var rb RecvBatch
+	defer rb.Free()
+	got := 0
+	fills := 0
+	for got < n {
+		k, err := c.RecvBatch(&rb, 5*time.Second)
+		if err != nil {
+			t.Fatalf("fill %d after %d packets: %v", fills, got, err)
+		}
+		if k != rb.Len() || k < 1 || k > recvChunk {
+			t.Fatalf("fill %d: n=%d, Len=%d", fills, k, rb.Len())
+		}
+		for _, pkt := range rb.Packets() {
+			if !bytes.Equal(pkt, batch[got]) {
+				t.Fatalf("packet %d differs (reordered or corrupted)", got)
+			}
+			got++
+		}
+		fills++
+	}
+	if fills > n {
+		t.Fatalf("%d fills for %d packets", fills, n)
+	}
+	t.Logf("%d packets in %d fills", n, fills)
+}
+
+// TestRecvClosedVsTimeout pins satellite 2's contract on UDPClient: an idle
+// socket yields ErrTimeout (keep polling), a closed one yields ErrClosed
+// immediately (stop polling), and Closed() flips accordingly.
+func TestRecvClosedVsTimeout(t *testing.T) {
+	s, err := NewUDPServer("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := NewUDPClientSession(s.Addr(), 0xBA7D, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Closed() {
+		t.Fatal("Closed() true before Close")
+	}
+	if _, err := c.RecvOne(20 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("RecvOne on idle socket: %v, want ErrTimeout", err)
+	}
+	var rb RecvBatch
+	defer rb.Free()
+	if _, err := c.RecvBatch(&rb, 20*time.Millisecond); err != ErrTimeout {
+		t.Fatalf("RecvBatch on idle socket: %v, want ErrTimeout", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	// Both the early-exit path (closed flag) and the socket path must
+	// classify as ErrClosed, and fast: a receive loop must not spin.
+	start := time.Now()
+	if _, err := c.RecvOne(5 * time.Second); err != ErrClosed {
+		t.Fatalf("RecvOne after Close: %v, want ErrClosed", err)
+	}
+	if _, err := c.RecvBatch(&rb, 5*time.Second); err != ErrClosed {
+		t.Fatalf("RecvBatch after Close: %v, want ErrClosed", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("closed receives blocked for %v", elapsed)
+	}
+}
+
+// TestSetRecvSize: datagrams larger than the default buffer are truncated
+// by the kernel, so a raised receive size must round-trip a jumbo packet
+// intact.
+func TestSetRecvSize(t *testing.T) {
+	s, err := NewUDPServer("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	c, err := NewUDPClientSession(s.Addr(), 0xBA7E, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetRecvSize(8192)
+	deadline := time.Now().Add(5 * time.Second)
+	for s.SessionSubscribers(0xBA7E, 0) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscription never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	jumbo := testPacket(0xBA7E, 0, 1, bytes.Repeat([]byte{0xAB}, 4000))
+	if err := s.Send(0, jumbo); err != nil {
+		t.Fatal(err)
+	}
+	var rb RecvBatch
+	defer rb.Free()
+	if _, err := c.RecvBatch(&rb, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rb.Packets()[0], jumbo) {
+		t.Fatalf("jumbo packet truncated: got %d bytes, want %d", len(rb.Packets()[0]), len(jumbo))
+	}
+}
+
+// TestMultiClientBatchFunnel exercises the batch handoff end to end: two
+// servers blast batches concurrently, RecvBatchFrom hands out whole
+// source-tagged batches, and every packet is delivered exactly once.
+func TestMultiClientBatchFunnel(t *testing.T) {
+	const session = 0xF411
+	srvs := make([]*UDPServer, 2)
+	for i := range srvs {
+		s, err := NewUDPServer("127.0.0.1:0", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer s.Close()
+		srvs[i] = s
+	}
+	mc, err := NewMultiClient([]*net.UDPAddr{srvs[0].Addr(), srvs[1].Addr()}, session, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mc.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for srvs[0].SessionSubscribers(session, 0) == 0 || srvs[1].SessionSubscribers(session, 0) == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("subscriptions never registered")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	const perSrc = 80
+	for src, s := range srvs {
+		batch := make([][]byte, perSrc)
+		for i := range batch {
+			h := proto.Header{Index: uint32(src), Serial: uint32(i + 1), Session: session}
+			batch[i] = append(h.Marshal(nil), byte(src), byte(i))
+		}
+		if err := s.SendBatch(0, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seen := [2]map[uint32]bool{{}, {}}
+	for seen[0][perSrc] == false || seen[1][perSrc] == false {
+		src, pkts, err := mc.RecvBatchFrom(5 * time.Second)
+		if err != nil {
+			t.Fatalf("with %d+%d packets seen: %v", len(seen[0]), len(seen[1]), err)
+		}
+		if len(pkts) == 0 {
+			t.Fatal("empty batch handed out")
+		}
+		for _, pkt := range pkts {
+			h, payload, err := proto.ParseHeader(pkt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if int(h.Index) != src || int(payload[0]) != src {
+				t.Fatalf("packet from server %d delivered as source %d", h.Index, src)
+			}
+			if seen[src][h.Serial] {
+				t.Fatalf("source %d serial %d delivered twice", src, h.Serial)
+			}
+			seen[src][h.Serial] = true
+		}
+		// Mixing the cursor API with the batch API must not double-deliver:
+		// the batch above was handed out whole, so RecvFrom pulls a new one.
+		if len(seen[0]) < perSrc || len(seen[1]) < perSrc {
+			if src2, pkt, err := mc.RecvFrom(5 * time.Second); err == nil {
+				h, _, perr := proto.ParseHeader(pkt)
+				if perr != nil {
+					t.Fatal(perr)
+				}
+				if seen[src2][h.Serial] {
+					t.Fatalf("RecvFrom re-delivered source %d serial %d", src2, h.Serial)
+				}
+				seen[src2][h.Serial] = true
+			}
+		}
+	}
+	if len(seen[0]) != perSrc || len(seen[1]) != perSrc {
+		t.Fatalf("delivered %d+%d packets, want %d each", len(seen[0]), len(seen[1]), perSrc)
+	}
+}
+
+// TestMultiClientClosedVsTimeout pins satellite 2's contract on the funnel:
+// ErrTimeout while idle, ErrClosed after Close — promptly, so download
+// loops stop spinning once the client is torn down.
+func TestMultiClientClosedVsTimeout(t *testing.T) {
+	s, err := NewUDPServer("127.0.0.1:0", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	mc, err := NewMultiClient([]*net.UDPAddr{s.Addr()}, 0xF412, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mc.Closed() {
+		t.Fatal("Closed() true before Close")
+	}
+	if _, _, err := mc.RecvFrom(20 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("RecvFrom on idle funnel: %v, want ErrTimeout", err)
+	}
+	if _, _, err := mc.RecvBatchFrom(20 * time.Millisecond); err != ErrTimeout {
+		t.Fatalf("RecvBatchFrom on idle funnel: %v, want ErrTimeout", err)
+	}
+	if err := mc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if !mc.Closed() {
+		t.Fatal("Closed() false after Close")
+	}
+	start := time.Now()
+	if _, _, err := mc.RecvFrom(5 * time.Second); err != ErrClosed {
+		t.Fatalf("RecvFrom after Close: %v, want ErrClosed", err)
+	}
+	if _, _, err := mc.RecvBatchFrom(5 * time.Second); err != ErrClosed {
+		t.Fatalf("RecvBatchFrom after Close: %v, want ErrClosed", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("closed receives blocked for %v", elapsed)
+	}
+	// Close is idempotent.
+	if err := mc.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

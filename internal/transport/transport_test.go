@@ -2,7 +2,6 @@ package transport
 
 import (
 	"bytes"
-	"math/rand"
 	"net"
 	"sync"
 	"testing"
@@ -40,7 +39,7 @@ func TestBusDeliveryAndLevels(t *testing.T) {
 
 func TestBusLossInjection(t *testing.T) {
 	b := NewBus(1)
-	rng := rand.New(rand.NewSource(1))
+	rng := netsim.NewRNG(1)
 	n := 0
 	b.NewClient(0, &netsim.Bernoulli{P: 0.5, Rng: rng}, func(int, []byte) { n++ })
 	for i := 0; i < 10000; i++ {

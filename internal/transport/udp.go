@@ -504,13 +504,22 @@ func (s *UDPServer) Close() error {
 
 // UDPClient is the receiver side of the UDP substrate, subscribed to one
 // session (or SessionAny for the legacy single-session behaviour).
+//
+// Receive calls (Recv, RecvOne, RecvBatch) are single-reader: run one
+// receive loop per client. SetLevel/Resubscribe/Close may be called
+// concurrently with it.
 type UDPClient struct {
 	conn    *net.UDPConn
 	server  *net.UDPAddr
 	session uint16
+	raw     syscall.RawConn // cached once: SyscallConn allocates per call
 	mu      sync.Mutex
 	level   int
 	closed  bool
+
+	recvSize int        // per-datagram receive buffer capacity
+	recvBuf  *Buf       // Recv/RecvOne's pooled reusable buffer
+	rmmsg    *recvState // reusable kernel batch-read state (single-reader)
 }
 
 // NewUDPClient dials the server's data port and subscribes to layers
@@ -526,7 +535,10 @@ func NewUDPClientSession(server *net.UDPAddr, session uint16, level int) (*UDPCl
 	if err != nil {
 		return nil, err
 	}
-	c := &UDPClient{conn: conn, server: server, session: session, level: -1}
+	c := &UDPClient{conn: conn, server: server, session: session, level: -1, recvSize: defaultRecvSize}
+	// A nil raw conn just disables the kernel batch read; the portable
+	// single-read path covers everything.
+	c.raw, _ = conn.SyscallConn()
 	if err := c.SetLevel(level); err != nil {
 		conn.Close()
 		return nil, err
@@ -597,15 +609,14 @@ func (c *UDPClient) Resubscribe() error {
 }
 
 // Recv blocks for the next packet (with timeout). ok=false on timeout or
-// close.
+// close; use RecvOne (or Closed) when the two must be distinguished. The
+// returned slice is a view into the client's pooled buffer, valid only
+// until the next Recv/RecvOne call on this client — callers that keep
+// packet bytes must copy them (every decoder in this repository copies on
+// Add).
 func (c *UDPClient) Recv(timeout time.Duration) (pkt []byte, ok bool) {
-	c.conn.SetReadDeadline(time.Now().Add(timeout))
-	buf := make([]byte, 65536)
-	n, _, err := c.conn.ReadFromUDP(buf)
-	if err != nil {
-		return nil, false
-	}
-	return buf[:n], true
+	pkt, err := c.RecvOne(timeout)
+	return pkt, err == nil
 }
 
 // Close leaves all groups and closes the socket. The client runs no
@@ -626,8 +637,16 @@ func (c *UDPClient) Close() error {
 	return c.conn.Close()
 }
 
+// controlReplySize bounds a control reply: a full catalog can run to
+// ~65000 bytes (proto.MaxCatalogEntries), so control reads keep the 64 KiB
+// buffer — but pooled and shared across requests instead of allocated per
+// call.
+const controlReplySize = 65536
+
 // RequestSessionInfo sends a hello to a control address and waits for the
-// session descriptor datagram.
+// session descriptor datagram. The reply is returned in a fresh
+// exact-sized slice the caller owns; the 64 KiB read buffer itself is
+// pooled and reused across requests.
 func RequestSessionInfo(control *net.UDPAddr, hello []byte, timeout time.Duration) ([]byte, error) {
 	conn, err := net.DialUDP("udp", nil, control)
 	if err != nil {
@@ -638,12 +657,16 @@ func RequestSessionInfo(control *net.UDPAddr, hello []byte, timeout time.Duratio
 		return nil, err
 	}
 	conn.SetReadDeadline(time.Now().Add(timeout))
-	buf := make([]byte, 65536)
+	b := recvPool.Get(controlReplySize)
+	defer recvPool.Put(b)
+	buf := b.B[:cap(b.B)]
 	n, err := conn.Read(buf)
 	if err != nil {
 		return nil, errors.New("transport: control request timed out")
 	}
-	return buf[:n], nil
+	reply := make([]byte, n)
+	copy(reply, buf[:n])
+	return reply, nil
 }
 
 // ServeControlFunc answers control datagrams on addr: every received
