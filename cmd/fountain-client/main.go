@@ -53,6 +53,7 @@ func main() {
 		sessArg  = flag.String("session", "", "session id to fetch (e.g. 0xDF98); empty = server default")
 		all      = flag.Bool("all", false, "fetch every session in the catalog concurrently")
 		list     = flag.Bool("list", false, "print the catalog and exit")
+		stats    = flag.Bool("stats", false, "print the server's stats snapshot and exit")
 		attempts = flag.Int("ctrl-attempts", 5, "control request attempts before giving up")
 		ctrlTO   = flag.Duration("ctrl-timeout", 2*time.Second, "per-attempt control reply timeout")
 		rejoinIv = flag.Duration("rejoin", 3*time.Second, "resubscribe to a mirror silent for this long (0 = never)")
@@ -83,6 +84,19 @@ func main() {
 	// fast instead of hanging the startup.
 	policy := transport.RetryPolicy{Attempts: *attempts, Timeout: *ctrlTO}
 	opts := dlOpts{level: *level, timeout: *timeout, rejoin: *rejoinIv, stall: *stall}
+
+	if *stats {
+		reply, err := transport.RequestSessionInfoRetry(ctrl, proto.MarshalStatsRequest(), policy)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s, err := proto.ParseStats(reply)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printStats(s)
+		return
+	}
 
 	if *list || *all {
 		reply, err := transport.RequestSessionInfoRetry(ctrl, proto.MarshalCatalogRequest(), policy)
@@ -156,6 +170,21 @@ func main() {
 	if err := download(info, mirrors, *out, opts); err != nil {
 		log.Fatal(err)
 	}
+}
+
+// printStats renders a server stats snapshot for operators.
+func printStats(s proto.StatsSnapshot) {
+	state := "serving"
+	if s.Draining == 1 {
+		state = "draining"
+	}
+	fmt.Printf("fountain-server stats (%s):\n", state)
+	fmt.Printf("  sessions=%d shards=%d subscribers=%d\n", s.Sessions, s.Shards, s.Subscribers)
+	fmt.Printf("  data: packets=%d bytes=%d send-errors=%d\n", s.PacketsSent, s.BytesSent, s.SendErrors)
+	fmt.Printf("  scheduler: rounds=%d catchup=%d debt-dropped=%d\n", s.RoundsEmitted, s.CatchupRounds, s.DebtDropped)
+	fmt.Printf("  cache: used=%d peak=%d lookups=%d hits=%d misses=%d evictions=%d\n",
+		s.CacheUsed, s.CachePeak, s.CacheLookups, s.CacheHits, s.CacheMisses, s.CacheEvictions)
+	fmt.Printf("  transport: tx-packets=%d tx-bytes=%d\n", s.TxPackets, s.TxBytes)
 }
 
 // dlOpts bundles the download loop's robustness knobs.

@@ -21,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -53,6 +55,7 @@ func main() {
 		phase    = flag.Int("phase", 0, "carousel start round, advertised to clients (mirrors of one file stagger theirs, §8)")
 		cacheB   = flag.Int64("cache", 64<<20, "shared lazy-encoding cache budget, bytes")
 		statsSec = flag.Int("stats", 30, "seconds between stats lines (0 = never)")
+		metricsA = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics (empty = off)")
 		maxSess  = flag.Int("max-sessions", 0, "session registry cap (0 = unlimited)")
 		maxSubs  = flag.Int("max-subs", 0, "distinct subscriber address cap (0 = unlimited)")
 		maxPPS   = flag.Int("max-pps", 0, "per-subscriber packets/second cap (0 = uncapped)")
@@ -88,6 +91,25 @@ func main() {
 
 	svc := service.New(udp, service.Config{CacheBytes: *cacheB, BaseRate: *rate, MaxSessions: *maxSess})
 	defer svc.Close()
+	// One registry carries both layers' series: the service registered its
+	// own at construction; the transport adds its socket-level counters.
+	udp.RegisterMetrics(svc.Metrics())
+	if *metricsA != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", svc.Metrics().Handler())
+		msrv := &http.Server{Addr: *metricsA, Handler: mux}
+		ln, err := net.Listen("tcp", *metricsA)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer msrv.Close()
+		go func() {
+			if err := msrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				log.Printf("fountain-server: metrics endpoint: %v", err)
+			}
+		}()
+		fmt.Printf("fountain-server: metrics at http://%s/metrics\n", ln.Addr())
+	}
 
 	for i, file := range files {
 		data, err := os.ReadFile(file)

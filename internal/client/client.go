@@ -20,9 +20,12 @@ import (
 	"fmt"
 	"math/bits"
 	"sort"
+	"strconv"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/layered"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 )
 
@@ -51,11 +54,15 @@ type source struct {
 	haveSerial []bool
 	missing    []missingWindow // per layer: serials counted lost, refundable on late arrival
 	ctrl       *layered.Controller
-	received   int
-	lost       int
-	corrupt    int
-	distinct   int
-	duplicate  int
+	// Accounting counters are atomics: intake is single-goroutine, but a
+	// metrics scrape (RegisterMetrics) reads them from another goroutine
+	// while packets flow. lost/received are signed — late arrivals refund
+	// provisional losses, and a decode error rolls one reception back.
+	received  atomic.Int64
+	lost      atomic.Int64
+	corrupt   atomic.Int64
+	distinct  atomic.Int64
+	duplicate atomic.Int64
 }
 
 // Engine is one receiving client, harvesting from one or more sources.
@@ -211,7 +218,7 @@ func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 		if s == nil {
 			s = e.addSource(src, e.level)
 		}
-		s.corrupt++
+		s.corrupt.Add(1)
 		return e.rcv.Done(), nil
 	}
 	if err != nil {
@@ -254,7 +261,7 @@ func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 		case delta == 0:
 			// Duplicate serial: nothing to account.
 		case delta < 1<<31:
-			s.lost += int(delta - 1)
+			s.lost.Add(int64(delta) - 1)
 			if delta > 1 {
 				w := &s.missing[h.Group]
 				// Oldest-first so the window's FIFO eviction keeps the
@@ -272,14 +279,14 @@ func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 			// Late arrival from before lastSerial: refund its loss if it
 			// is one we counted.
 			if s.missing[h.Group].refund(h.Serial) {
-				s.lost--
+				s.lost.Add(-1)
 			}
 		}
 	} else {
 		s.haveSerial[h.Group] = true
 		s.lastSerial[h.Group] = h.Serial
 	}
-	s.received++
+	s.received.Add(1)
 	// Congestion control: only meaningful with multiple layers. The packet
 	// feeds its own source's controller; the level requested from the
 	// transport is the minimum across all sources — the highest rate every
@@ -303,13 +310,13 @@ func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 		// validated above — the decoder's only error conditions); undo the
 		// reception count so Received == Distinct + Duplicate still holds
 		// if a codec ever grows new failure modes.
-		s.received--
+		s.received.Add(-1)
 		return done, err
 	}
 	if _, d1, _ := e.rcv.Stats(); d1 > d0 {
-		s.distinct++
+		s.distinct.Add(1)
 	} else {
-		s.duplicate++
+		s.duplicate.Add(1)
 	}
 	return done, nil
 }
@@ -361,15 +368,15 @@ func (e *Engine) SourceStats(id int) SourceStats {
 		return SourceStats{}
 	}
 	st := SourceStats{
-		Received:  s.received,
-		Lost:      s.lost,
-		Corrupt:   s.corrupt,
-		Distinct:  s.distinct,
-		Duplicate: s.duplicate,
+		Received:  int(s.received.Load()),
+		Lost:      int(s.lost.Load()),
+		Corrupt:   int(s.corrupt.Load()),
+		Distinct:  int(s.distinct.Load()),
+		Duplicate: int(s.duplicate.Load()),
 		Level:     s.ctrl.Level(),
 	}
-	if total := s.received + s.lost; total > 0 {
-		st.Loss = float64(s.lost) / float64(total)
+	if total := st.Received + st.Lost; total > 0 {
+		st.Loss = float64(st.Lost) / float64(total)
 	}
 	return st
 }
@@ -390,26 +397,54 @@ func (e *Engine) WorstSource() (id int, loss float64) {
 // Corrupt returns the total number of packets dropped for failed
 // integrity tags, aggregated across all sources.
 func (e *Engine) Corrupt() int {
-	var n int
+	var n int64
 	for _, s := range e.sources {
-		n += s.corrupt
+		n += s.corrupt.Load()
 	}
-	return n
+	return int(n)
 }
 
 // MeasuredLoss returns the packet loss rate observed over the download,
 // aggregated across all sources.
 func (e *Engine) MeasuredLoss() float64 {
-	var received, lost int
+	var received, lost int64
 	for _, s := range e.sources {
-		received += s.received
-		lost += s.lost
+		received += s.received.Load()
+		lost += s.lost.Load()
 	}
 	total := received + lost
 	if total == 0 {
 		return 0
 	}
 	return float64(lost) / float64(total)
+}
+
+// RegisterMetrics exposes the engine's per-source accounting on a scrape
+// registry, one labeled series set per source registered at call time
+// (sources appearing later via HandlePacketFrom are not retroactively
+// added — register after all mirrors are known). The scrape reads the
+// same atomics the intake path updates, so it is safe while packets flow;
+// everything else on the Engine remains single-goroutine.
+func (e *Engine) RegisterMetrics(r *metrics.Registry) {
+	for _, id := range e.Sources() {
+		s := e.sources[id]
+		suffix := `{source="` + strconv.Itoa(id) + `"}`
+		r.CounterFunc("fountain_client_received_total"+suffix,
+			"packets accepted from the source",
+			func() uint64 { return uint64(s.received.Load()) })
+		r.CounterFunc("fountain_client_lost_total"+suffix,
+			"packets counted lost from serial gaps (net of reorder refunds)",
+			func() uint64 { return uint64(s.lost.Load()) })
+		r.CounterFunc("fountain_client_corrupt_total"+suffix,
+			"packets dropped for a failed integrity tag",
+			func() uint64 { return uint64(s.corrupt.Load()) })
+		r.CounterFunc("fountain_client_distinct_total"+suffix,
+			"packets that were new to the decoder",
+			func() uint64 { return uint64(s.distinct.Load()) })
+		r.CounterFunc("fountain_client_duplicate_total"+suffix,
+			"packets the decoder had already seen",
+			func() uint64 { return uint64(s.duplicate.Load()) })
+	}
 }
 
 // Stats returns the decoder-side (total received, distinct, k) counters —

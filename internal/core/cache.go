@@ -21,14 +21,17 @@ import (
 // may encode it twice; the loser's work is discarded (the schedules are
 // deterministic, so both copies are identical).
 type BlockCache struct {
-	mu      sync.Mutex
-	cap     int64
-	used    int64
-	peak    int64
-	hits    uint64
-	misses  uint64
-	ll      *list.List // front = most recently used
-	entries map[cacheKey]*list.Element
+	mu           sync.Mutex
+	cap          int64
+	used         int64
+	peak         int64
+	lookups      uint64 // combined get2 probes; invariant: hits + misses == lookups
+	hits         uint64
+	misses       uint64
+	evictions    uint64     // entries removed to restore the budget (not Drop)
+	evictedBytes uint64     // charged bytes reclaimed by those evictions
+	ll           *list.List // front = most recently used
+	entries      map[cacheKey]*list.Element
 }
 
 type cacheKey struct {
@@ -73,12 +76,47 @@ func (c *BlockCache) Stats() (hits, misses uint64) {
 	return c.hits, c.misses
 }
 
+// CacheStats is a consistent snapshot of the cache's accounting, read under
+// one lock acquisition so the invariant Hits+Misses == Lookups holds in
+// every snapshot even while other goroutines probe concurrently.
+type CacheStats struct {
+	Lookups      uint64 // combined get2 probes (one per Payload cache path)
+	Hits         uint64
+	Misses       uint64
+	Evictions    uint64 // entries evicted to restore the byte budget
+	EvictedBytes uint64 // charged bytes reclaimed by those evictions
+	Used         int64  // currently charged bytes
+	Peak         int64  // high-water mark of charged bytes
+	Cap          int64  // configured budget
+	Entries      int    // resident blocks
+}
+
+// StatsSnapshot returns the full accounting picture. Each lookup counts
+// exactly one hit or one miss — a combined primary/secondary probe is one
+// lookup, never two — so Hits+Misses == Lookups always.
+func (c *BlockCache) StatsSnapshot() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Lookups:      c.lookups,
+		Hits:         c.hits,
+		Misses:       c.misses,
+		Evictions:    c.evictions,
+		EvictedBytes: c.evictedBytes,
+		Used:         c.used,
+		Peak:         c.peak,
+		Cap:          c.cap,
+		Entries:      c.ll.Len(),
+	}
+}
+
 // get2 returns the cached run under the primary key, else the secondary
 // key (fromPrimary reports which), else nil — counting exactly one hit or
 // miss for the combined probe.
 func (c *BlockCache) get2(owner *Session, primary, secondary int) (pkts [][]byte, fromPrimary bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	c.lookups++
 	if el, ok := c.entries[cacheKey{owner, primary}]; ok {
 		c.hits++
 		c.ll.MoveToFront(el)
@@ -116,6 +154,8 @@ func (c *BlockCache) put(owner *Session, block int, pkts [][]byte, bytes int64) 
 		c.ll.Remove(back)
 		delete(c.entries, ent.key)
 		c.used -= ent.bytes
+		c.evictions++
+		c.evictedBytes += uint64(ent.bytes)
 	}
 	return pkts
 }

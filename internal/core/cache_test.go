@@ -109,6 +109,80 @@ func TestBlockCacheBudgetUnderConcurrency(t *testing.T) {
 	if hits == 0 || misses == 0 {
 		t.Fatalf("degenerate traffic: hits=%d misses=%d", hits, misses)
 	}
+	// One combined probe = exactly one hit or one miss, even under
+	// concurrency: the counts must tie out against the lookup count.
+	st := cache.StatsSnapshot()
+	if st.Hits+st.Misses != st.Lookups {
+		t.Fatalf("probe accounting broken: hits %d + misses %d != lookups %d",
+			st.Hits, st.Misses, st.Lookups)
+	}
+}
+
+// TestBlockCacheLookupAndEvictionAccounting: a deterministic probe
+// sequence against a one-block budget where every count is known in
+// advance — each Payload on the repair region is exactly one lookup and
+// one hit-or-miss (a combined primary/secondary probe must never count as
+// two events), and each new block insert past the first evicts exactly the
+// previous resident.
+func TestBlockCacheLookupAndEvictionAccounting(t *testing.T) {
+	blockBytes := int64(8 * PadPacketLen(500))
+	cache := NewBlockCache(blockBytes) // room for exactly one full block
+	sess, eager := lazySessionForCache(t, cache, 104)
+	k := sess.Codec().K()
+	blockPkts := sess.Config().LazyBlock
+
+	firstRepairBlock := (k + blockPkts - 1) / blockPkts // first all-repair block
+	const nBlocks = 4
+	probes := 0
+	for round := 0; round < 2; round++ {
+		for b := 0; b < nBlocks; b++ {
+			idx := (firstRepairBlock + b) * blockPkts
+			if !bytes.Equal(sess.Payload(idx), eager.Payload(idx)) {
+				t.Fatalf("block %d payload mismatch", b)
+			}
+			probes++
+		}
+	}
+
+	st := cache.StatsSnapshot()
+	if st.Lookups != uint64(probes) {
+		t.Fatalf("lookups = %d, want one per probe (%d)", st.Lookups, probes)
+	}
+	if st.Hits+st.Misses != st.Lookups {
+		t.Fatalf("hits %d + misses %d != lookups %d", st.Hits, st.Misses, st.Lookups)
+	}
+	// Cycling 4 distinct blocks through a 1-block cache: every probe
+	// misses (the block touched 4 probes ago is long evicted). Eviction
+	// count is exact: round one's full-block fills each displace their
+	// predecessor (3 evictions), round two's first re-touch is a
+	// single-packet refill whose insert displaces the last full block
+	// (1 more); the remaining refills fit inside the freed budget. So all
+	// 4 full blocks — and nothing else — get evicted.
+	if st.Misses != uint64(probes) || st.Hits != 0 {
+		t.Fatalf("cycling working set should always miss: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	if st.Evictions != nBlocks {
+		t.Fatalf("evictions = %d, want %d (each full block displaced exactly once)",
+			st.Evictions, nBlocks)
+	}
+	if st.EvictedBytes != nBlocks*uint64(blockBytes) {
+		t.Fatalf("evicted bytes = %d, want %d", st.EvictedBytes, nBlocks*uint64(blockBytes))
+	}
+	pkt := int64(PadPacketLen(500))
+	if st.Entries != nBlocks || st.Used != nBlocks*pkt {
+		t.Fatalf("resident = %d entries / %d bytes, want %d single-packet refills (%d bytes)",
+			st.Entries, st.Used, nBlocks, nBlocks*pkt)
+	}
+
+	// An immediate re-touch of the resident block is the one guaranteed
+	// hit; the counters must move by exactly (1 lookup, 1 hit, 0 misses).
+	idx := (firstRepairBlock + nBlocks - 1) * blockPkts
+	sess.Payload(idx)
+	st2 := cache.StatsSnapshot()
+	if st2.Lookups != st.Lookups+1 || st2.Hits != st.Hits+1 || st2.Misses != st.Misses {
+		t.Fatalf("hit accounting: lookups %d→%d hits %d→%d misses %d→%d",
+			st.Lookups, st2.Lookups, st.Hits, st2.Hits, st.Misses, st2.Misses)
+	}
 }
 
 // TestBlockCacheSinglePacketRefill: after a block's first full fill is

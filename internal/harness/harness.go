@@ -339,6 +339,14 @@ func (r *Receiver) markDone() {
 	}
 }
 
+// FaultStats returns the ground-truth fault accounting of this receiver's
+// feed from one mirror: what the in-process channel verifiably delivered,
+// dropped, corrupted, and duplicated. Acceptance tests reconcile metrics
+// registries and client counters against these.
+func (r *Receiver) FaultStats(mirror int) transport.FaultStats {
+	return r.clients[mirror].FaultStats()
+}
+
 // Done reports whether the receiver's decoder completed.
 func (r *Receiver) Done() bool { return r.Engine.Done() }
 

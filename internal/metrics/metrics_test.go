@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestCounterGaugeBasics: atomic arithmetic, zero values ready.
+func TestCounterGaugeBasics(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(41)
+	if got := c.Load(); got != 42 {
+		t.Fatalf("counter = %d, want 42", got)
+	}
+	var g Gauge
+	g.Set(7)
+	g.Add(-10)
+	if got := g.Load(); got != -3 {
+		t.Fatalf("gauge = %d, want -3", got)
+	}
+}
+
+// TestHistogramBuckets: observations land in the first bucket whose bound
+// holds them, cumulative exposition matches, sum counts non-negatives.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram(1, 8, 32)
+	for _, v := range []int64{0, 1, 2, 8, 9, 32, 33, 1000} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 8 {
+		t.Fatalf("count = %d, want 8", got)
+	}
+	if got := h.Sum(); got != 1085 {
+		t.Fatalf("sum = %d, want 1085", got)
+	}
+	want := []uint64{2, 2, 2, 2} // (<=1)=0,1; (<=8)=2,8; (<=32)=9,32; +Inf=33,1000
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Fatalf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+}
+
+// TestWriteToFormat: the exposition must group HELP/TYPE per base name,
+// keep label suffixes verbatim, and expand histograms to cumulative
+// buckets.
+func TestWriteToFormat(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_packets_total", "packets")
+	c.Add(5)
+	r.Counter(`test_backlog{shard="1"}`, "per-shard backlog").Add(2)
+	r.Counter(`test_backlog{shard="0"}`, "").Add(3)
+	r.GaugeFunc("test_sessions", "sessions", func() float64 { return 4 })
+	h := r.Histogram("test_batch_size", "batch sizes", 1, 8)
+	h.Observe(1)
+	h.Observe(5)
+	h.Observe(99)
+
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"# TYPE test_packets_total counter\n",
+		"test_packets_total 5\n",
+		`test_backlog{shard="1"} 2` + "\n",
+		`test_backlog{shard="0"} 3` + "\n",
+		"# TYPE test_sessions gauge\n",
+		"test_sessions 4\n",
+		"# TYPE test_batch_size histogram\n",
+		`test_batch_size_bucket{le="1"} 1` + "\n",
+		`test_batch_size_bucket{le="8"} 2` + "\n",
+		`test_batch_size_bucket{le="+Inf"} 3` + "\n",
+		"test_batch_size_sum 105\n",
+		"test_batch_size_count 3\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+	// One TYPE header per base name, even with two labeled series.
+	if got := strings.Count(text, "# TYPE test_backlog "); got != 1 {
+		t.Fatalf("test_backlog TYPE headers = %d, want 1:\n%s", got, text)
+	}
+	// Every non-comment line must parse as "name[{labels}] value".
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("unparseable exposition line %q", line)
+		}
+	}
+}
+
+// TestSnapshot: every series appears, sorted, histograms as _count/_sum.
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("b_total", "").Add(2)
+	r.Counter("a_total", "").Add(1)
+	h := r.Histogram("h", "", 4)
+	h.Observe(3)
+	got := r.Snapshot()
+	want := []Sample{{"a_total", 1}, {"b_total", 2}, {"h_count", 1}, {"h_sum", 3}}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestDuplicateRegistrationPanics: series names are unique per registry.
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("x_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	r.Counter("x_total", "")
+}
+
+// TestConcurrentScrapeAndUpdate: scraping while updating must be race-free
+// (run under -race) and counters must read monotonically.
+func TestConcurrentScrapeAndUpdate(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mono_total", "")
+	h := r.Histogram("hist", "", 2, 16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			c.Inc()
+			h.Observe(i % 32)
+		}
+	}()
+	var last uint64
+	for i := 0; i < 200; i++ {
+		var sb strings.Builder
+		r.WriteTo(&sb)
+		for _, s := range r.Snapshot() {
+			if s.Name == "mono_total" {
+				if v := uint64(s.Value); v < last {
+					t.Errorf("counter regressed: %d -> %d", last, v)
+				} else {
+					last = v
+				}
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestUpdateZeroAlloc: the hot-path update ops must not allocate.
+func TestUpdateZeroAlloc(t *testing.T) {
+	var c Counter
+	var g Gauge
+	h := NewHistogram(1, 8, 64)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(5)
+		g.Add(-1)
+		h.Observe(7)
+	}); n != 0 {
+		t.Fatalf("update path allocates %.2f allocs/op, want 0", n)
+	}
+}

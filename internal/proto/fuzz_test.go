@@ -92,6 +92,9 @@ func FuzzParseControl(f *testing.F) {
 		{Session: 2, K: 30, N: 60, PacketLen: 16, InterleaveK: 5, Phase: 7},
 	}))
 	f.Add([]byte{controlMag0, controlMag1})
+	f.Add(MarshalStatsRequest())
+	f.Add(StatsSnapshot{Sessions: 1, Shards: 2, PacketsSent: 3,
+		Draining: 1, Subscribers: 4, TxPackets: 5}.Marshal())
 	f.Fuzz(func(t *testing.T, buf []byte) {
 		if s, err := ParseSessionInfo(buf); err == nil {
 			if len(buf) < sessionInfoLen {
@@ -130,6 +133,18 @@ func FuzzParseControl(f *testing.F) {
 		if _, ok := ParseNak(buf); ok && len(buf) < 5 {
 			t.Fatal("truncated NAK accepted")
 		}
+		if s, err := ParseStats(buf); err == nil {
+			if len(buf) < statsLen {
+				t.Fatalf("truncated stats accepted (%d bytes)", len(buf))
+			}
+			if !bytes.Equal(s.Marshal(), buf[:statsLen]) {
+				t.Fatal("stats parse→marshal diverges")
+			}
+			if !bytes.Equal(s.Append(nil), s.Marshal()) {
+				t.Fatal("stats Append diverges from Marshal")
+			}
+		}
 		IsCatalogRequest(buf) // must simply not panic
+		IsStatsRequest(buf)   // must simply not panic
 	})
 }

@@ -182,6 +182,8 @@ const (
 	msgCatalogReq uint8 = 3
 	msgCatalog    uint8 = 4
 	msgNak        uint8 = 5
+	msgStatsReq   uint8 = 6
+	msgStats      uint8 = 7
 	controlMag0         = 0xDF // "digital fountain"
 	controlMag1         = 0x98 // 1998
 )
@@ -386,6 +388,131 @@ func ParseSessionInfo(buf []byte) (SessionInfo, error) {
 	s.LTCMicro = binary.BigEndian.Uint32(buf[59:63])
 	s.LTDeltaMicro = binary.BigEndian.Uint32(buf[63:67])
 	copy(s.Digest[:], buf[67:99])
+	return s, nil
+}
+
+// StatsSnapshot is the control-plane observability answer: a fixed-length
+// snapshot of a server's operational counters, so a client (or an
+// operator's probe) can read server health over the same unicast control
+// socket it uses for session discovery — no HTTP endpoint required.
+// Counter semantics match service.Stats; transport fields are zero when
+// the transport keeps no such count (the in-process Bus).
+type StatsSnapshot struct {
+	Sessions       uint32
+	Shards         uint32
+	PacketsSent    uint64
+	BytesSent      uint64
+	SendErrors     uint64
+	RoundsEmitted  uint64
+	CatchupRounds  uint64
+	DebtDropped    uint64
+	Draining       uint8 // 1 once the server began draining
+	CacheUsed      uint64
+	CachePeak      uint64
+	CacheLookups   uint64
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
+	Subscribers    uint32 // transport subscriber addresses
+	TxPackets      uint64 // transport datagram writes (per destination)
+	TxBytes        uint64
+}
+
+// statsLen is the fixed encoding length of a stats message:
+// magic+type, two uint32 counts, six uint64 service counters, the drain
+// flag, six uint64 cache counters, and the three transport fields.
+const statsLen = 3 + 4 + 4 + 6*8 + 1 + 6*8 + 4 + 8 + 8
+
+// AppendStatsRequest appends a stats request probe to dst.
+func AppendStatsRequest(dst []byte) []byte {
+	return append(dst, controlMag0, controlMag1, msgStatsReq)
+}
+
+// MarshalStatsRequest encodes a stats request into a fresh slice.
+func MarshalStatsRequest() []byte { return AppendStatsRequest(nil) }
+
+// IsStatsRequest reports whether buf is a stats request.
+func IsStatsRequest(buf []byte) bool {
+	return len(buf) >= 3 && buf[0] == controlMag0 && buf[1] == controlMag1 && buf[2] == msgStatsReq
+}
+
+// Append appends the stats message encoding to dst.
+func (s StatsSnapshot) Append(dst []byte) []byte {
+	dst = append(dst, controlMag0, controlMag1, msgStats)
+	var tmp [8]byte
+	put32 := func(v uint32) {
+		binary.BigEndian.PutUint32(tmp[:4], v)
+		dst = append(dst, tmp[:4]...)
+	}
+	put64 := func(v uint64) {
+		binary.BigEndian.PutUint64(tmp[:8], v)
+		dst = append(dst, tmp[:8]...)
+	}
+	put32(s.Sessions)
+	put32(s.Shards)
+	put64(s.PacketsSent)
+	put64(s.BytesSent)
+	put64(s.SendErrors)
+	put64(s.RoundsEmitted)
+	put64(s.CatchupRounds)
+	put64(s.DebtDropped)
+	dst = append(dst, s.Draining)
+	put64(s.CacheUsed)
+	put64(s.CachePeak)
+	put64(s.CacheLookups)
+	put64(s.CacheHits)
+	put64(s.CacheMisses)
+	put64(s.CacheEvictions)
+	put32(s.Subscribers)
+	put64(s.TxPackets)
+	put64(s.TxBytes)
+	return dst
+}
+
+// Marshal encodes the stats message into a fresh slice.
+func (s StatsSnapshot) Marshal() []byte {
+	return s.Append(make([]byte, 0, statsLen))
+}
+
+// ParseStats decodes a stats message.
+func ParseStats(buf []byte) (StatsSnapshot, error) {
+	if len(buf) < statsLen {
+		return StatsSnapshot{}, fmt.Errorf("proto: stats message too short (%d bytes)", len(buf))
+	}
+	if buf[0] != controlMag0 || buf[1] != controlMag1 || buf[2] != msgStats {
+		return StatsSnapshot{}, errors.New("proto: not a stats message")
+	}
+	i := 3
+	get32 := func() uint32 {
+		v := binary.BigEndian.Uint32(buf[i : i+4])
+		i += 4
+		return v
+	}
+	get64 := func() uint64 {
+		v := binary.BigEndian.Uint64(buf[i : i+8])
+		i += 8
+		return v
+	}
+	var s StatsSnapshot
+	s.Sessions = get32()
+	s.Shards = get32()
+	s.PacketsSent = get64()
+	s.BytesSent = get64()
+	s.SendErrors = get64()
+	s.RoundsEmitted = get64()
+	s.CatchupRounds = get64()
+	s.DebtDropped = get64()
+	s.Draining = buf[i]
+	i++
+	s.CacheUsed = get64()
+	s.CachePeak = get64()
+	s.CacheLookups = get64()
+	s.CacheHits = get64()
+	s.CacheMisses = get64()
+	s.CacheEvictions = get64()
+	s.Subscribers = get32()
+	s.TxPackets = get64()
+	s.TxBytes = get64()
 	return s, nil
 }
 

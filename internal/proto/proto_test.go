@@ -173,6 +173,51 @@ func TestCatalogClampedToDatagram(t *testing.T) {
 	}
 }
 
+func TestStatsRoundTrip(t *testing.T) {
+	want := StatsSnapshot{
+		Sessions: 3, Shards: 4,
+		PacketsSent: 1_000_001, BytesSent: 512_000_512, SendErrors: 7,
+		RoundsEmitted: 9999, CatchupRounds: 12, DebtDropped: 2,
+		Draining:  1,
+		CacheUsed: 1 << 20, CachePeak: 1 << 21, CacheLookups: 5000,
+		CacheHits: 4800, CacheMisses: 200, CacheEvictions: 17,
+		Subscribers: 250_000, TxPackets: 1 << 40, TxBytes: 1 << 50,
+	}
+	buf := want.Marshal()
+	if len(buf) != statsLen {
+		t.Fatalf("stats message is %d bytes, want %d", len(buf), statsLen)
+	}
+	got, err := ParseStats(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round-trip diverged:\n got %+v\nwant %+v", got, want)
+	}
+	if _, err := ParseStats(buf[:statsLen-1]); err == nil {
+		t.Fatal("truncated stats message accepted")
+	}
+	if _, err := ParseStats(MarshalHello()); err == nil {
+		t.Fatal("hello parsed as stats message")
+	}
+}
+
+func TestStatsRequest(t *testing.T) {
+	req := MarshalStatsRequest()
+	if !IsStatsRequest(req) {
+		t.Fatal("request does not self-identify")
+	}
+	if IsStatsRequest(MarshalHello()) || IsStatsRequest(MarshalCatalogRequest()) {
+		t.Fatal("other control messages identified as stats requests")
+	}
+	if IsHello(req) || IsCatalogRequest(req) {
+		t.Fatal("stats request confused with other requests")
+	}
+	if _, _, ok := HelloSession(req); ok {
+		t.Fatal("stats request parsed as hello")
+	}
+}
+
 func TestNakRoundTrip(t *testing.T) {
 	id, ok := ParseNak(MarshalNak(0xDF99))
 	if !ok || id != 0xDF99 {

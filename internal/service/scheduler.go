@@ -182,6 +182,9 @@ func (sh *shard) emitDue(ev *schedEvent, em *emitter) {
 		if e.stopped {
 			return
 		}
+		if rounds > 0 {
+			sh.svc.catchupRounds.Inc()
+		}
 		em.emitRound(e.car)
 		if e.car.BurstNext() {
 			em.emitRound(e.car)
@@ -193,6 +196,7 @@ func (sh *shard) emitDue(ev *schedEvent, em *emitter) {
 			return
 		}
 		if rounds >= maxRoundsPerPop {
+			sh.svc.debtDropped.Inc()
 			ev.next = now // drop the rest of the debt
 			return
 		}
@@ -311,4 +315,5 @@ func (em *emitter) flush() {
 func (em *emitter) emitRound(car *core.Carousel) {
 	_ = car.NextRoundTo(em)
 	em.flush()
+	em.svc.rounds.Inc()
 }

@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/server"
 	"repro/internal/transport"
@@ -72,11 +73,22 @@ type Stats struct {
 	// per-packet path, failure events (at least one errored write in a
 	// batch — batch transports isolate errors per subscriber, so the rest
 	// of the fan-out was still attempted) on the batch path.
-	SendErrors  uint64
-	CacheUsed   int64 // bytes currently held by the shared block cache
-	CachePeak   int64 // high-water mark of the shared block cache
-	CacheHits   uint64
-	CacheMisses uint64
+	SendErrors uint64
+	// Scheduler health: total carousel rounds emitted, rounds emitted as
+	// catch-up (the session was behind its pacing deadline), and times a
+	// shard dropped remaining pacing debt after hitting the per-pop
+	// catch-up cap. Rising catch-up/debt counts mean the configured rates
+	// exceed what the shards can emit.
+	RoundsEmitted  uint64
+	CatchupRounds  uint64
+	DebtDropped    uint64
+	Draining       bool
+	CacheUsed      int64 // bytes currently held by the shared block cache
+	CachePeak      int64 // high-water mark of the shared block cache
+	CacheLookups   uint64
+	CacheHits      uint64
+	CacheMisses    uint64
+	CacheEvictions uint64
 }
 
 type entry struct {
@@ -120,6 +132,14 @@ type Service struct {
 	bytes      atomic.Uint64
 	sendErrors atomic.Uint64
 	draining   atomic.Bool
+
+	// Scheduler counters (see Stats); metrics.Counter so the registry can
+	// expose them directly — one atomic add on the emit path each.
+	rounds        metrics.Counter
+	catchupRounds metrics.Counter
+	debtDropped   metrics.Counter
+
+	reg *metrics.Registry
 }
 
 // New creates a service transmitting on tx. Any Sender works; transports
@@ -151,7 +171,73 @@ func New(tx server.Sender, cfg Config) *Service {
 	}
 	s.manualEm = newEmitter(s)
 	s.sched = newScheduler(s, ctx, cfg.Shards)
+	s.reg = metrics.NewRegistry()
+	s.registerMetrics(s.reg)
 	return s
+}
+
+// Metrics returns the service's scrape registry: every series below plus
+// whatever the caller registers on top (transport counters, build info).
+// Mount Registry.Handler on an HTTP mux for a Prometheus /metrics endpoint.
+func (s *Service) Metrics() *metrics.Registry { return s.reg }
+
+// registerMetrics wires the service's existing counters to a registry as
+// func-backed series — nothing on the emit path changes, the scraper reads
+// the same atomics (or takes the same short locks Stats does).
+func (s *Service) registerMetrics(r *metrics.Registry) {
+	r.CounterFunc("fountain_packets_sent_total",
+		"data packets handed to the transport", s.packets.Load)
+	r.CounterFunc("fountain_bytes_sent_total",
+		"data bytes handed to the transport", s.bytes.Load)
+	r.CounterFunc("fountain_send_errors_total",
+		"transport send failures (dropped packets or batch failure events)", s.sendErrors.Load)
+	r.AddCounter("fountain_sched_rounds_total",
+		"carousel rounds emitted", &s.rounds)
+	r.AddCounter("fountain_sched_catchup_rounds_total",
+		"rounds emitted while behind the pacing deadline", &s.catchupRounds)
+	r.AddCounter("fountain_sched_debt_dropped_total",
+		"times a shard dropped pacing debt at the per-pop catch-up cap", &s.debtDropped)
+	r.GaugeFunc("fountain_sessions", "registered sessions", func() float64 {
+		s.mu.Lock()
+		n := len(s.sessions)
+		s.mu.Unlock()
+		return float64(n)
+	})
+	r.GaugeFunc("fountain_scheduler_shards", "scheduler worker goroutines",
+		func() float64 { return float64(len(s.sched.shards)) })
+	r.GaugeFunc("fountain_draining", "1 once Drain has begun", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
+	for i, sh := range s.sched.shards {
+		sh := sh
+		r.GaugeFunc(fmt.Sprintf(`fountain_sched_backlog{shard="%d"}`, i),
+			"paced sessions queued on the shard's deadline heap",
+			func() float64 {
+				sh.mu.Lock()
+				n := len(sh.heap)
+				sh.mu.Unlock()
+				return float64(n)
+			})
+	}
+	r.GaugeFunc("fountain_cache_used_bytes", "charged bytes resident in the block cache",
+		func() float64 { return float64(s.cache.Used()) })
+	r.GaugeFunc("fountain_cache_peak_bytes", "high-water mark of charged cache bytes",
+		func() float64 { return float64(s.cache.Peak()) })
+	r.GaugeFunc("fountain_cache_cap_bytes", "configured cache byte budget",
+		func() float64 { return float64(s.cache.Cap()) })
+	r.CounterFunc("fountain_cache_lookups_total", "combined block-cache probes",
+		func() uint64 { return s.cache.StatsSnapshot().Lookups })
+	r.CounterFunc("fountain_cache_hits_total", "block-cache hits",
+		func() uint64 { return s.cache.StatsSnapshot().Hits })
+	r.CounterFunc("fountain_cache_misses_total", "block-cache misses",
+		func() uint64 { return s.cache.StatsSnapshot().Misses })
+	r.CounterFunc("fountain_cache_evictions_total", "blocks evicted to hold the byte budget",
+		func() uint64 { return s.cache.StatsSnapshot().Evictions })
+	r.CounterFunc("fountain_cache_evicted_bytes_total", "charged bytes reclaimed by evictions",
+		func() uint64 { return s.cache.StatsSnapshot().EvictedBytes })
 }
 
 // Cache exposes the shared block cache (for inspection and tests).
@@ -360,6 +446,9 @@ func (s *Service) HandleControl(req []byte) []byte {
 	if proto.IsCatalogRequest(req) {
 		return proto.MarshalCatalog(s.Catalog())
 	}
+	if proto.IsStatsRequest(req) {
+		return s.StatsSnapshot().Marshal()
+	}
 	if id, specific, ok := proto.HelloSession(req); ok {
 		if specific {
 			if info, found := s.Lookup(id); found {
@@ -375,22 +464,62 @@ func (s *Service) HandleControl(req []byte) []byte {
 	return nil
 }
 
+// StatsSnapshot builds the wire-format stats answer served to
+// proto.IsStatsRequest probes: the service counters plus whatever traffic
+// accounting the underlying transport exposes (zero for transports that
+// keep none).
+func (s *Service) StatsSnapshot() proto.StatsSnapshot {
+	st := s.Stats()
+	snap := proto.StatsSnapshot{
+		Sessions:       uint32(st.Sessions),
+		Shards:         uint32(st.Shards),
+		PacketsSent:    st.PacketsSent,
+		BytesSent:      st.BytesSent,
+		SendErrors:     st.SendErrors,
+		RoundsEmitted:  st.RoundsEmitted,
+		CatchupRounds:  st.CatchupRounds,
+		DebtDropped:    st.DebtDropped,
+		CacheUsed:      uint64(st.CacheUsed),
+		CachePeak:      uint64(st.CachePeak),
+		CacheLookups:   st.CacheLookups,
+		CacheHits:      st.CacheHits,
+		CacheMisses:    st.CacheMisses,
+		CacheEvictions: st.CacheEvictions,
+	}
+	if st.Draining {
+		snap.Draining = 1
+	}
+	if sc, ok := s.tx.(interface{ SubscriberTotal() int }); ok {
+		snap.Subscribers = uint32(sc.SubscriberTotal())
+	}
+	if tc, ok := s.tx.(interface{ Traffic() (uint64, uint64) }); ok {
+		snap.TxPackets, snap.TxBytes = tc.Traffic()
+	}
+	return snap
+}
+
 // Stats returns a snapshot of the service counters.
 func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	n := len(s.sessions)
 	s.mu.Unlock()
-	hits, misses := s.cache.Stats()
+	cs := s.cache.StatsSnapshot()
 	return Stats{
-		Sessions:    n,
-		Shards:      len(s.sched.shards),
-		PacketsSent: s.packets.Load(),
-		BytesSent:   s.bytes.Load(),
-		SendErrors:  s.sendErrors.Load(),
-		CacheUsed:   s.cache.Used(),
-		CachePeak:   s.cache.Peak(),
-		CacheHits:   hits,
-		CacheMisses: misses,
+		Sessions:       n,
+		Shards:         len(s.sched.shards),
+		PacketsSent:    s.packets.Load(),
+		BytesSent:      s.bytes.Load(),
+		SendErrors:     s.sendErrors.Load(),
+		RoundsEmitted:  s.rounds.Load(),
+		CatchupRounds:  s.catchupRounds.Load(),
+		DebtDropped:    s.debtDropped.Load(),
+		Draining:       s.draining.Load(),
+		CacheUsed:      cs.Used,
+		CachePeak:      cs.Peak,
+		CacheLookups:   cs.Lookups,
+		CacheHits:      cs.Hits,
+		CacheMisses:    cs.Misses,
+		CacheEvictions: cs.Evictions,
 	}
 }
 

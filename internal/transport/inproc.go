@@ -14,6 +14,7 @@ package transport
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/netsim"
 )
@@ -52,6 +53,15 @@ func (b *Bus) resnap() {
 
 // Layers returns the group count.
 func (b *Bus) Layers() int { return b.layers }
+
+// SubscriberTotal returns the number of attached clients (the Bus analogue
+// of UDPServer.SubscriberTotal, so stats snapshots work over either
+// substrate).
+func (b *Bus) SubscriberTotal() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
 
 // DropAll detaches every subscriber without closing them — the membership
 // table a crashed-and-restarted server would have lost. Clients stop
@@ -129,6 +139,37 @@ type BusClient struct {
 	reorderSeed  uint64
 	reorderN     uint64
 	rq           []queuedPacket
+
+	// Fault-pipeline ground truth: every decision the pipeline takes is
+	// counted at the moment it is taken, so a harness can assert a
+	// receiver's (or a metrics registry's) view against what the channel
+	// verifiably did. Atomics — incremented under c.mu but read lock-free
+	// by FaultStats during live traffic.
+	nDelivered  atomic.Uint64 // handler invocations (duplicate copies included)
+	nLost       atomic.Uint64 // drops by the loss process (not sleep/level filtering)
+	nCorrupted  atomic.Uint64 // deliveries with the one-byte flip applied
+	nDuplicated atomic.Uint64 // extra copies delivered by the duplication process
+}
+
+// FaultStats is a BusClient's ground-truth fault accounting: what the
+// in-process channel actually did to this client's traffic.
+type FaultStats struct {
+	Delivered  uint64 // handler invocations, duplicate copies included
+	Lost       uint64 // packets dropped by the loss process
+	Corrupted  uint64 // packets delivered with a flipped byte
+	Duplicated uint64 // extra copies delivered by the duplication process
+}
+
+// FaultStats returns the client's fault-pipeline counts. Packets still
+// held by the reorder buffer are in none of the counts — flush with
+// SetReorder(0, 0) before reconciling exact totals.
+func (c *BusClient) FaultStats() FaultStats {
+	return FaultStats{
+		Delivered:  c.nDelivered.Load(),
+		Lost:       c.nLost.Load(),
+		Corrupted:  c.nCorrupted.Load(),
+		Duplicated: c.nDuplicated.Load(),
+	}
 }
 
 type queuedPacket struct {
@@ -215,6 +256,7 @@ func (c *BusClient) SetReorder(depth int, seed int64) {
 		return
 	}
 	for _, q := range flush {
+		c.nDelivered.Add(1)
 		h(q.layer, q.pkt)
 	}
 }
@@ -287,6 +329,7 @@ func (c *BusClient) deliver(layer int, pkt []byte) {
 		lp = c.byLayer[layer]
 	}
 	if lp != nil && lp.Lose() {
+		c.nLost.Add(1)
 		c.mu.Unlock()
 		return
 	}
@@ -298,6 +341,7 @@ func (c *BusClient) deliver(layer int, pkt []byte) {
 		c.scratch = append(c.scratch[:0], pkt...)
 		c.scratch[int(c.faultN%uint64(len(c.scratch)))] ^= 0x55
 		out = c.scratch
+		c.nCorrupted.Add(1)
 	}
 	c.faultN++
 	dup := c.dup != nil && c.dup.Lose()
@@ -320,8 +364,11 @@ func (c *BusClient) deliver(layer int, pkt []byte) {
 		if h == nil {
 			return
 		}
+		c.nDelivered.Add(1)
 		h(rel.layer, rel.pkt)
 		if dup {
+			c.nDuplicated.Add(1)
+			c.nDelivered.Add(1)
 			h(rel.layer, rel.pkt)
 		}
 		return
@@ -330,8 +377,11 @@ func (c *BusClient) deliver(layer int, pkt []byte) {
 	if h == nil {
 		return
 	}
+	c.nDelivered.Add(1)
 	h(layer, out)
 	if dup {
+		c.nDuplicated.Add(1)
+		c.nDelivered.Add(1)
 		h(layer, out)
 	}
 }

@@ -154,6 +154,13 @@ func (c *UDPClient) RecvBatch(rb *RecvBatch, timeout time.Duration) (int, error)
 	if err != nil {
 		return 0, classifyRecvErr(err)
 	}
+	var nb uint64
+	for _, p := range rb.pkts {
+		nb += uint64(len(p))
+	}
+	c.rxPackets.Add(uint64(n))
+	c.rxBytes.Add(nb)
+	c.rxBatch.Observe(int64(n))
 	return n, nil
 }
 
@@ -192,5 +199,8 @@ func (c *UDPClient) RecvOne(timeout time.Duration) ([]byte, error) {
 	if err != nil {
 		return nil, classifyRecvErr(err)
 	}
+	c.rxPackets.Add(1)
+	c.rxBytes.Add(uint64(n))
+	c.rxBatch.Observe(1)
 	return buf[:n], nil
 }

@@ -1,6 +1,7 @@
 package transport
 
 import (
+	"errors"
 	"fmt"
 	"net"
 	"time"
@@ -55,18 +56,36 @@ func (p RetryPolicy) delay(i int) time.Duration {
 // restarting, or momentarily unreachable keeps probing instead of dying on
 // the first lost datagram — and still fails fast (with the last error)
 // when the server is truly gone, instead of hanging forever.
+//
+// Errors are classified per attempt: ErrTimeout means the reply was lost
+// or late and another probe is worthwhile; ErrClosed means the socket
+// itself died, so the loop stops immediately instead of sleeping through
+// the remaining backoff schedule against a dead endpoint.
 func RequestSessionInfoRetry(control *net.UDPAddr, hello []byte, p RetryPolicy) ([]byte, error) {
+	return requestRetry(p, func(timeout time.Duration) ([]byte, error) {
+		return RequestSessionInfo(control, hello, timeout)
+	})
+}
+
+// requestRetry runs one control-request attempt function under the policy.
+// Factored from RequestSessionInfoRetry so the retry/classification logic
+// is testable without a live socket.
+func requestRetry(p RetryPolicy, attempt func(timeout time.Duration) ([]byte, error)) ([]byte, error) {
 	p = p.withDefaults()
 	var lastErr error
 	for i := 0; i < p.Attempts; i++ {
 		if i > 0 {
 			time.Sleep(p.delay(i - 1))
 		}
-		reply, err := RequestSessionInfo(control, hello, p.Timeout)
+		reply, err := attempt(p.Timeout)
 		if err == nil {
 			return reply, nil
 		}
 		lastErr = err
+		if errors.Is(err, ErrClosed) {
+			return nil, fmt.Errorf("transport: control request failed after %d attempts: %w",
+				i+1, lastErr)
+		}
 	}
 	return nil, fmt.Errorf("transport: control request failed after %d attempts: %w",
 		p.Attempts, lastErr)

@@ -1,0 +1,137 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+)
+
+// TestControlTimeoutClassified: a silent server (socket bound, nobody
+// answering) must surface as ErrTimeout — the retryable condition — not as
+// an opaque string.
+func TestControlTimeoutClassified(t *testing.T) {
+	silent, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	_, err = RequestSessionInfo(silent.LocalAddr().(*net.UDPAddr), []byte{7}, 30*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("silent server: err = %v, want ErrTimeout", err)
+	}
+	if errors.Is(err, ErrClosed) {
+		t.Fatalf("timeout misclassified as closed: %v", err)
+	}
+}
+
+// TestControlClosedClassified: a request over a dead socket must surface
+// as ErrClosed, not masquerade as a timeout. The old code folded every
+// failure — including this one — into a constant "timed out" error, which
+// sent RequestSessionInfoRetry into a full backoff schedule against a
+// socket that could never answer.
+func TestControlClosedClassified(t *testing.T) {
+	silent, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer silent.Close()
+	conn, err := net.DialUDP("udp", nil, silent.LocalAddr().(*net.UDPAddr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	_, err = requestOnConn(conn, []byte{7}, 30*time.Millisecond)
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed socket: err = %v, want ErrClosed", err)
+	}
+	if errors.Is(err, ErrTimeout) {
+		t.Fatalf("closed socket misclassified as timeout: %v", err)
+	}
+}
+
+// TestRequestRetryTimeoutKeepsProbing: timeouts burn the whole attempt
+// budget (the reply may just be lost), and a late success short-circuits
+// the rest of the schedule.
+func TestRequestRetryTimeoutKeepsProbing(t *testing.T) {
+	p := RetryPolicy{Attempts: 4, Timeout: time.Millisecond,
+		Backoff: time.Microsecond, MaxBackoff: time.Microsecond}
+	calls := 0
+	_, err := requestRetry(p, func(timeout time.Duration) ([]byte, error) {
+		if timeout != time.Millisecond {
+			t.Fatalf("attempt timeout = %v, want policy timeout 1ms", timeout)
+		}
+		calls++
+		return nil, fmt.Errorf("transport: control request: %w", ErrTimeout)
+	})
+	if calls != 4 {
+		t.Fatalf("timeout attempts = %d, want all 4", calls)
+	}
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("err = %v, want wrapped ErrTimeout", err)
+	}
+
+	calls = 0
+	reply, err := requestRetry(p, func(time.Duration) ([]byte, error) {
+		calls++
+		if calls < 3 {
+			return nil, ErrTimeout
+		}
+		return []byte{42}, nil
+	})
+	if err != nil || len(reply) != 1 || reply[0] != 42 {
+		t.Fatalf("late success: reply=%v err=%v", reply, err)
+	}
+	if calls != 3 {
+		t.Fatalf("late success took %d attempts, want 3", calls)
+	}
+}
+
+// TestRequestRetryClosedShortCircuits: ErrClosed means the socket is gone
+// — the loop must stop after that attempt instead of sleeping through the
+// remaining backoff schedule.
+func TestRequestRetryClosedShortCircuits(t *testing.T) {
+	p := RetryPolicy{Attempts: 5, Timeout: time.Millisecond,
+		Backoff: time.Microsecond, MaxBackoff: time.Microsecond}
+	calls := 0
+	start := time.Now()
+	_, err := requestRetry(p, func(time.Duration) ([]byte, error) {
+		calls++
+		return nil, fmt.Errorf("transport: control request: %w", ErrClosed)
+	})
+	if calls != 1 {
+		t.Fatalf("closed socket burned %d attempts, want 1", calls)
+	}
+	if !errors.Is(err, ErrClosed) {
+		t.Fatalf("err = %v, want wrapped ErrClosed", err)
+	}
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("short-circuit still slept %v", elapsed)
+	}
+}
+
+// TestRequestSessionInfoRetryClosedEndToEnd: the public retry entry point
+// inherits the classification — a dialed-then-killed local endpoint with a
+// generous attempt budget must fail in one attempt once the error is
+// ErrClosed, exercising the real socket path.
+func TestRequestSessionInfoRetryClosedEndToEnd(t *testing.T) {
+	// An address nobody listens on: on Linux the connected UDP socket gets
+	// ICMP port-unreachable, surfacing as a non-timeout error — which must
+	// pass through unclassified (neither swallowed nor renamed "timeout").
+	dead, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := dead.LocalAddr().(*net.UDPAddr)
+	dead.Close()
+	p := RetryPolicy{Attempts: 2, Timeout: 50 * time.Millisecond,
+		Backoff: time.Millisecond, MaxBackoff: time.Millisecond}
+	_, err = RequestSessionInfoRetry(addr, []byte{7}, p)
+	if err == nil {
+		t.Fatal("request to dead port succeeded")
+	}
+	if errs := err.Error(); errs == "transport: control request timed out" {
+		t.Fatalf("classification regressed to the old constant error: %v", err)
+	}
+}

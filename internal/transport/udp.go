@@ -6,9 +6,11 @@ import (
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"syscall"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/proto"
 )
 
@@ -118,6 +120,15 @@ type UDPServer struct {
 	// loop even where a kernel batch syscall is available.
 	writeOne      func(pkt []byte, to netip.AddrPort) error
 	batchPortable bool
+
+	// Traffic accounting: datagram writes handed to the kernel (attempted,
+	// per destination — one packet fanned out to N subscribers counts N)
+	// and the per-subscriber batch-size distribution. Lock-free atomics and
+	// a fixed-bucket histogram, so the zero-alloc send path stays that way;
+	// RegisterMetrics exposes them on a scrape registry.
+	txPackets atomic.Uint64
+	txBytes   atomic.Uint64
+	txBatch   *metrics.Histogram
 }
 
 // NewUDPServer listens on addr (e.g. "127.0.0.1:0") and serves `layers`
@@ -141,6 +152,7 @@ func NewUDPServer(addr string, layers int) (*UDPServer, error) {
 		done:     make(chan struct{}),
 		loopDone: make(chan struct{}),
 		v4Socket: conn.LocalAddr().(*net.UDPAddr).IP.To4() != nil,
+		txBatch:  metrics.NewHistogram(batchSizeBounds...),
 	}
 	s.writeOne = func(pkt []byte, to netip.AddrPort) error {
 		_, err := s.conn.WriteToUDPAddrPort(pkt, to)
@@ -398,6 +410,9 @@ func (s *UDPServer) Send(layer int, pkt []byte) error {
 		}
 		err := s.writeOne(pkt, a)
 		s.noteResult(a, err)
+		s.txPackets.Add(1)
+		s.txBytes.Add(uint64(len(pkt)))
+		s.txBatch.Observe(1)
 		if err != nil && first == nil {
 			first = err
 		}
@@ -439,6 +454,13 @@ func (s *UDPServer) SendBatch(layer int, pkts [][]byte) error {
 			}
 			err := s.writeBatchTo(pkts[lo:lo+n], a)
 			s.noteResult(a, err)
+			var nb uint64
+			for _, p := range pkts[lo : lo+n] {
+				nb += uint64(len(p))
+			}
+			s.txPackets.Add(uint64(n))
+			s.txBytes.Add(nb)
+			s.txBatch.Observe(int64(n))
 			if err != nil && first == nil {
 				first = err
 			}
@@ -478,6 +500,21 @@ func (s *UDPServer) Subscribers(layer int) int {
 		}
 	}
 	return len(seen)
+}
+
+// SubscriberTotal returns the number of distinct subscriber addresses
+// across all sessions and layers.
+func (s *UDPServer) SubscriberTotal() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.addrRef)
+}
+
+// Traffic returns the datagram writes handed to the kernel so far: packets
+// (per destination — one packet fanned out to N subscribers counts N) and
+// their total bytes.
+func (s *UDPServer) Traffic() (packets, bytes uint64) {
+	return s.txPackets.Load(), s.txBytes.Load()
 }
 
 // SessionSubscribers returns the subscriber count of one (session, layer)
@@ -520,6 +557,13 @@ type UDPClient struct {
 	recvSize int        // per-datagram receive buffer capacity
 	recvBuf  *Buf       // Recv/RecvOne's pooled reusable buffer
 	rmmsg    *recvState // reusable kernel batch-read state (single-reader)
+
+	// Traffic accounting mirroring the server's send side: datagrams and
+	// bytes taken off the socket, and the kernel-visit batch-size
+	// distribution. Lock-free; see RegisterMetrics.
+	rxPackets atomic.Uint64
+	rxBytes   atomic.Uint64
+	rxBatch   *metrics.Histogram
 }
 
 // NewUDPClient dials the server's data port and subscribes to layers
@@ -535,7 +579,8 @@ func NewUDPClientSession(server *net.UDPAddr, session uint16, level int) (*UDPCl
 	if err != nil {
 		return nil, err
 	}
-	c := &UDPClient{conn: conn, server: server, session: session, level: -1, recvSize: defaultRecvSize}
+	c := &UDPClient{conn: conn, server: server, session: session, level: -1,
+		recvSize: defaultRecvSize, rxBatch: metrics.NewHistogram(batchSizeBounds...)}
 	// A nil raw conn just disables the kernel batch read; the portable
 	// single-read path covers everything.
 	c.raw, _ = conn.SyscallConn()
@@ -647,22 +692,39 @@ const controlReplySize = 65536
 // session descriptor datagram. The reply is returned in a fresh
 // exact-sized slice the caller owns; the 64 KiB read buffer itself is
 // pooled and reused across requests.
+//
+// Errors are classified: ErrTimeout when the reply deadline elapsed (the
+// server may just be slow — retrying is sensible), ErrClosed when the
+// socket died (retrying the same conn is pointless), anything else passed
+// through. Both sentinels match with errors.Is.
 func RequestSessionInfo(control *net.UDPAddr, hello []byte, timeout time.Duration) ([]byte, error) {
 	conn, err := net.DialUDP("udp", nil, control)
 	if err != nil {
 		return nil, err
 	}
 	defer conn.Close()
+	return requestOnConn(conn, hello, timeout)
+}
+
+// requestOnConn is one control round-trip on an existing connected socket.
+// Every socket-layer failure is surfaced and classified — the old form
+// discarded the SetReadDeadline error and folded every read failure into a
+// constant "timed out" string, so a closed socket (or an ICMP port
+// unreachable) sent callers into a futile timeout-retry loop instead of
+// failing fast with ErrClosed.
+func requestOnConn(conn *net.UDPConn, hello []byte, timeout time.Duration) ([]byte, error) {
 	if _, err := conn.Write(hello); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("transport: control request: %w", classifyRecvErr(err))
 	}
-	conn.SetReadDeadline(time.Now().Add(timeout))
+	if err := conn.SetReadDeadline(time.Now().Add(timeout)); err != nil {
+		return nil, fmt.Errorf("transport: control deadline: %w", classifyRecvErr(err))
+	}
 	b := recvPool.Get(controlReplySize)
 	defer recvPool.Put(b)
 	buf := b.B[:cap(b.B)]
 	n, err := conn.Read(buf)
 	if err != nil {
-		return nil, errors.New("transport: control request timed out")
+		return nil, fmt.Errorf("transport: control request: %w", classifyRecvErr(err))
 	}
 	reply := make([]byte, n)
 	copy(reply, buf[:n])
