@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/evtrace"
 	"repro/internal/netsim"
 	"repro/internal/proto"
 	"repro/internal/transport"
@@ -136,11 +137,18 @@ func intakePackets(sess *core.Session) [][]byte {
 // measureIntake feeds the pre-generated stream to a fresh engine — first
 // cycle off the clock as warmup — and accounts time and allocations over
 // the rest. batch selects HandleBatchFrom in recvChunk-sized slices versus
-// the per-packet call.
-func measureIntake(sess *core.Session, pkts [][]byte, batch bool) (receiverResult, error) {
+// the per-packet call; traced attaches an enabled flight recorder, so the
+// gated row proves intake stays allocation-free while every packet also
+// writes EvIntake/EvSymbol events into the ring.
+func measureIntake(sess *core.Session, pkts [][]byte, batch, traced bool) (receiverResult, error) {
 	eng, err := client.New(sess.Info(), 0, nil)
 	if err != nil {
 		return receiverResult{}, err
+	}
+	if traced {
+		rec := evtrace.New(evtrace.Config{Shards: 1, ShardSize: 1 << 16})
+		rec.Enable()
+		eng.SetTrace(rec.Shard(0), 0)
 	}
 	warm := pkts[:intakeDistinct]
 	rest := pkts[intakeDistinct:]
@@ -181,8 +189,11 @@ func measureIntake(sess *core.Session, pkts [][]byte, batch bool) (receiverResul
 		return receiverResult{}, fmt.Errorf("intake decode completed mid-window: measurement invalid")
 	}
 	mode := "engine-intake"
-	if batch {
+	switch {
+	case batch:
 		mode = "engine-intake-batch"
+	case traced:
+		mode = "engine-intake-trace"
 	}
 	n := uint64(len(rest))
 	return receiverResult{
@@ -386,8 +397,10 @@ func runReceiverSuite(out string, receivers int) {
 		fail(err)
 	}
 	pkts := intakePackets(sess)
-	for _, batch := range []bool{false, true} {
-		res, err := measureIntake(sess, pkts, batch)
+	for _, m := range []struct{ batch, traced bool }{
+		{false, false}, {true, false}, {false, true},
+	} {
+		res, err := measureIntake(sess, pkts, m.batch, m.traced)
 		if err != nil {
 			fail(err)
 		}
@@ -452,7 +465,7 @@ func runReceiverSuite(out string, receivers int) {
 	// path must not allocate.
 	for _, r := range rep.Results {
 		switch r.Mode {
-		case "engine-intake", "engine-intake-batch", "udp-recv-batch":
+		case "engine-intake", "engine-intake-batch", "engine-intake-trace", "udp-recv-batch":
 			if r.Packets == 0 {
 				fmt.Fprintf(os.Stderr, "bench: FAIL: %s processed nothing\n", r.Mode)
 				os.Exit(1)

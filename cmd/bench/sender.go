@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/evtrace"
 	"repro/internal/proto"
 	"repro/internal/server"
 	"repro/internal/service"
@@ -38,6 +39,15 @@ var senderSessionCounts = []int{1, 16, 256}
 // absorbs unrelated runtime activity (timer wheels, memstats reads) that
 // lands in the same measurement window.
 const allocGate = 0.01
+
+// traceOffFloor is the fraction of the plain scheduler's throughput the
+// scheduler must retain with a flight recorder attached but disabled — the
+// "one predictable branch per site" claim as a hard gate rather than a
+// comment. The floor is deliberately loose (the real cost is ~0) because
+// two separate one-second windows on a shared CI box can diverge that much
+// on their own; it exists to catch a recorder that grew a lock or a
+// per-packet allocation, not to resolve single percents.
+const traceOffFloor = 0.60
 
 // saturationRate is a per-session base rate far beyond what any mode can
 // emit, so pacing never idles and the measurement is pure send-path
@@ -191,11 +201,43 @@ func benchGoroutinePerSession(sessions []*core.Session, warmup, window time.Dura
 	return res
 }
 
+// traceMode selects how the flight recorder rides along on a scheduler
+// measurement: absent entirely, attached but disabled (the deployment
+// default — each instrumentation site costs one predictable branch), or
+// attached and recording (every site also writes a 32-byte event into its
+// shard's ring).
+type traceMode int
+
+const (
+	traceNone traceMode = iota
+	traceOff
+	traceOn
+)
+
+func (m traceMode) label() string {
+	switch m {
+	case traceOff:
+		return "scheduler+trace-off"
+	case traceOn:
+		return "scheduler+trace"
+	}
+	return "scheduler"
+}
+
 // benchScheduler runs the same sessions through the shared pacing
-// scheduler and the pooled, batched send path.
-func benchScheduler(sessions []*core.Session, warmup, window time.Duration) (senderResult, error) {
+// scheduler and the pooled, batched send path, with the flight recorder in
+// the requested mode.
+func benchScheduler(sessions []*core.Session, warmup, window time.Duration, tm traceMode) (senderResult, error) {
 	sink := &countSink{}
-	svc := service.New(sink, service.Config{BaseRate: saturationRate})
+	cfg := service.Config{BaseRate: saturationRate}
+	if tm != traceNone {
+		rec := evtrace.New(evtrace.Config{Shards: runtime.GOMAXPROCS(0)})
+		if tm == traceOn {
+			rec.Enable()
+		}
+		cfg.Trace = rec
+	}
+	svc := service.New(sink, cfg)
 	for _, sess := range sessions {
 		if err := svc.Add(sess, saturationRate); err != nil {
 			svc.Close()
@@ -228,7 +270,7 @@ func benchScheduler(sessions []*core.Session, warmup, window time.Duration) (sen
 	close(stopScrape)
 	scrapes := <-scrapeDone
 	svc.Close()
-	res.Mode = "scheduler"
+	res.Mode = tm.label()
 	res.Sessions = len(sessions)
 	res.Scrapes = scrapes
 	return res, nil
@@ -259,15 +301,17 @@ func runSenderSuite(out string, pl int) {
 		runtime.GC()
 		baseRes := benchGoroutinePerSession(sessions, warmup, window)
 		rep.Results = append(rep.Results, baseRes)
-		runtime.GC()
-		schedRes, err := benchScheduler(sessions, warmup, window)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bench: sender scheduler: %v\n", err)
-			os.Exit(1)
-		}
-		rep.Results = append(rep.Results, schedRes)
-		if n == 256 {
-			base256, sched256 = baseRes.PacketsPerSec, schedRes.PacketsPerSec
+		for _, tm := range []traceMode{traceNone, traceOff, traceOn} {
+			runtime.GC()
+			schedRes, err := benchScheduler(sessions, warmup, window, tm)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "bench: sender scheduler: %v\n", err)
+				os.Exit(1)
+			}
+			rep.Results = append(rep.Results, schedRes)
+			if n == 256 && tm == traceNone {
+				base256, sched256 = baseRes.PacketsPerSec, schedRes.PacketsPerSec
+			}
 		}
 	}
 	if base256 > 0 {
@@ -296,19 +340,38 @@ func runSenderSuite(out string, pl int) {
 	}
 
 	// The hard gates: every mode must actually emit (a stalled scheduler
-	// must not pass vacuously), and steady-state scheduler emission must
-	// not allocate.
+	// must not pass vacuously); steady-state scheduler emission must not
+	// allocate with the recorder absent, attached-disabled, or recording;
+	// and a disabled recorder must not cost more than the traceOffFloor
+	// against the plain scheduler at the same session count.
+	plain := map[int]float64{}
+	for _, r := range rep.Results {
+		if r.Mode == "scheduler" {
+			plain[r.Sessions] = r.PacketsPerSec
+		}
+	}
 	for _, r := range rep.Results {
 		if r.Packets == 0 {
 			fmt.Fprintf(os.Stderr,
 				"bench: FAIL: %s at %d sessions emitted nothing\n", r.Mode, r.Sessions)
 			os.Exit(1)
 		}
-		if r.Mode == "scheduler" && r.AllocsPerPacket > allocGate {
-			fmt.Fprintf(os.Stderr,
-				"bench: FAIL: scheduler at %d sessions allocates %.4f/packet (gate %.2f)\n",
-				r.Sessions, r.AllocsPerPacket, allocGate)
-			os.Exit(1)
+		switch r.Mode {
+		case "scheduler", "scheduler+trace-off", "scheduler+trace":
+			if r.AllocsPerPacket > allocGate {
+				fmt.Fprintf(os.Stderr,
+					"bench: FAIL: %s at %d sessions allocates %.4f/packet (gate %.2f)\n",
+					r.Mode, r.Sessions, r.AllocsPerPacket, allocGate)
+				os.Exit(1)
+			}
+		}
+		if r.Mode == "scheduler+trace-off" {
+			if base := plain[r.Sessions]; base > 0 && r.PacketsPerSec < traceOffFloor*base {
+				fmt.Fprintf(os.Stderr,
+					"bench: FAIL: disabled recorder at %d sessions costs too much: %.0f pkts/s vs %.0f plain (floor %.0f%%)\n",
+					r.Sessions, r.PacketsPerSec, base, traceOffFloor*100)
+				os.Exit(1)
+			}
 		}
 	}
 }

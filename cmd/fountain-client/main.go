@@ -33,6 +33,7 @@ import (
 	"time"
 
 	"repro/internal/client"
+	"repro/internal/evtrace"
 	"repro/internal/proto"
 	"repro/internal/transport"
 )
@@ -54,6 +55,8 @@ func main() {
 		all      = flag.Bool("all", false, "fetch every session in the catalog concurrently")
 		list     = flag.Bool("list", false, "print the catalog and exit")
 		stats    = flag.Bool("stats", false, "print the server's stats snapshot and exit")
+		statsIv  = flag.Duration("stats-interval", 0, "poll the server's stats during the download, printing deltas every interval (0 = off)")
+		traceOut = flag.String("trace", "", "record the client intake path and write a flight-recorder dump here (suffixed with the session id under -all); analyze with fountain-trace")
 		attempts = flag.Int("ctrl-attempts", 5, "control request attempts before giving up")
 		ctrlTO   = flag.Duration("ctrl-timeout", 2*time.Second, "per-attempt control reply timeout")
 		rejoinIv = flag.Duration("rejoin", 3*time.Second, "resubscribe to a mirror silent for this long (0 = never)")
@@ -83,7 +86,16 @@ func main() {
 	// or restarting server is probed a few more times, a dead one fails
 	// fast instead of hanging the startup.
 	policy := transport.RetryPolicy{Attempts: *attempts, Timeout: *ctrlTO}
-	opts := dlOpts{level: *level, timeout: *timeout, rejoin: *rejoinIv, stall: *stall}
+	opts := dlOpts{level: *level, timeout: *timeout, rejoin: *rejoinIv, stall: *stall, trace: *traceOut}
+
+	// Periodic control-plane stats polling: one poller for the whole process
+	// (downloads of several sessions share the server), printing deltas so
+	// an operator watches the server's rates, not its lifetime totals.
+	if *statsIv > 0 && !*stats && !*list {
+		stopPoll := make(chan struct{})
+		defer close(stopPoll)
+		go pollStats(ctrl, policy, *statsIv, stopPoll)
+	}
 
 	if *stats {
 		reply, err := transport.RequestSessionInfoRetry(ctrl, proto.MarshalStatsRequest(), policy)
@@ -125,7 +137,11 @@ func main() {
 			go func(info proto.SessionInfo) {
 				defer wg.Done()
 				name := fmt.Sprintf("%s.%04x", *out, info.Session)
-				if err := download(info, mirrors, name, opts); err != nil {
+				sopts := opts
+				if opts.trace != "" {
+					sopts.trace = fmt.Sprintf("%s.%04x", opts.trace, info.Session)
+				}
+				if err := download(info, mirrors, name, sopts); err != nil {
 					failed <- fmt.Errorf("session %#x: %w", info.Session, err)
 				}
 			}(info)
@@ -187,12 +203,50 @@ func printStats(s proto.StatsSnapshot) {
 	fmt.Printf("  transport: tx-packets=%d tx-bytes=%d\n", s.TxPackets, s.TxBytes)
 }
 
+// pollStats polls the server's control-plane stats every iv, printing the
+// counter deltas between snapshots — the live view of what the server did
+// while this client downloaded. The first reply prints as a baseline.
+func pollStats(ctrl *net.UDPAddr, policy transport.RetryPolicy, iv time.Duration, stop <-chan struct{}) {
+	var prev proto.StatsSnapshot
+	have := false
+	t := time.NewTicker(iv)
+	defer t.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+		}
+		reply, err := transport.RequestSessionInfoRetry(ctrl, proto.MarshalStatsRequest(), policy)
+		if err != nil {
+			log.Printf("fountain-client: stats poll: %v", err)
+			continue
+		}
+		s, err := proto.ParseStats(reply)
+		if err != nil {
+			log.Printf("fountain-client: stats poll: %v", err)
+			continue
+		}
+		if have {
+			fmt.Printf("fountain-client: server +%v: pkts=+%d bytes=+%d errs=+%d rounds=+%d catchup=+%d subs=%d sessions=%d\n",
+				iv, s.PacketsSent-prev.PacketsSent, s.BytesSent-prev.BytesSent,
+				s.SendErrors-prev.SendErrors, s.RoundsEmitted-prev.RoundsEmitted,
+				s.CatchupRounds-prev.CatchupRounds, s.Subscribers, s.Sessions)
+		} else {
+			fmt.Printf("fountain-client: server baseline: pkts=%d bytes=%d errs=%d rounds=%d subs=%d sessions=%d\n",
+				s.PacketsSent, s.BytesSent, s.SendErrors, s.RoundsEmitted, s.Subscribers, s.Sessions)
+		}
+		prev, have = s, true
+	}
+}
+
 // dlOpts bundles the download loop's robustness knobs.
 type dlOpts struct {
 	level   int
 	timeout time.Duration
 	rejoin  time.Duration // resubscribe to a mirror silent this long
 	stall   time.Duration // abort when every mirror is silent this long
+	trace   string        // non-empty = write a flight-recorder dump here
 }
 
 // download fetches one session from every mirror at once and writes the
@@ -219,6 +273,14 @@ func download(info proto.SessionInfo, mirrors []*net.UDPAddr, out string, o dlOp
 	})
 	if err != nil {
 		return err
+	}
+	var rec *evtrace.Recorder
+	if o.trace != "" {
+		// Record the intake path (accepted packets, integrity drops, symbol
+		// releases, completion) in wall-monotonic time for fountain-trace.
+		rec = evtrace.New(evtrace.Config{Shards: 1, ShardSize: 1 << 18})
+		rec.Enable()
+		eng.SetTrace(rec.Shard(0), 0)
 	}
 	// Silent-mirror watchdog: a mirror that delivered nothing for a whole
 	// rejoin interval may have crashed and restarted with an empty
@@ -274,6 +336,23 @@ func download(info proto.SessionInfo, mirrors []*net.UDPAddr, out string, o dlOp
 	}
 	if err := os.WriteFile(out, file, 0o644); err != nil {
 		return err
+	}
+	if rec != nil {
+		rec.Disable()
+		events := rec.Snapshot()
+		tf, err := os.Create(o.trace)
+		if err != nil {
+			return err
+		}
+		werr := evtrace.WriteBinary(tf, events)
+		if cerr := tf.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return fmt.Errorf("writing trace %s: %w", o.trace, werr)
+		}
+		fmt.Printf("fountain-client: wrote trace %s (%d events, %d overwritten)\n",
+			o.trace, len(events), rec.Dropped())
 	}
 	eta, etaC, etaD := eng.Efficiency()
 	fmt.Printf("fountain-client: wrote %s (%d bytes); loss=%.1f%% corrupt=%d eta=%.3f eta_c=%.3f eta_d=%.3f level=%d\n",

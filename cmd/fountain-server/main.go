@@ -23,12 +23,15 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/evtrace"
 	"repro/internal/proto"
 	"repro/internal/service"
 	"repro/internal/transport"
@@ -56,6 +59,8 @@ func main() {
 		cacheB   = flag.Int64("cache", 64<<20, "shared lazy-encoding cache budget, bytes")
 		statsSec = flag.Int("stats", 30, "seconds between stats lines (0 = never)")
 		metricsA = flag.String("metrics-addr", "", "serve Prometheus text metrics on this address at /metrics (empty = off)")
+		traceOn  = flag.Bool("trace", false, "start with the flight recorder enabled (toggle later via /debug/evtrace/enable|disable on -metrics-addr)")
+		traceBuf = flag.Int("trace-buf", 1<<14, "flight-recorder ring capacity per scheduler shard, events")
 		maxSess  = flag.Int("max-sessions", 0, "session registry cap (0 = unlimited)")
 		maxSubs  = flag.Int("max-subs", 0, "distinct subscriber address cap (0 = unlimited)")
 		maxPPS   = flag.Int("max-pps", 0, "per-subscriber packets/second cap (0 = uncapped)")
@@ -89,14 +94,54 @@ func main() {
 		Log:            log.Printf,
 	})
 
-	svc := service.New(udp, service.Config{CacheBytes: *cacheB, BaseRate: *rate, MaxSessions: *maxSess})
+	// The flight recorder is always compiled in and always attached — the
+	// send path pays one predictable branch per site while it is disabled.
+	// -trace starts it recording; the /debug/evtrace endpoints toggle and
+	// dump it at runtime.
+	rec := evtrace.New(evtrace.Config{Shards: runtime.GOMAXPROCS(0), ShardSize: *traceBuf})
+	if *traceOn {
+		rec.Enable()
+	}
+
+	svc := service.New(udp, service.Config{CacheBytes: *cacheB, BaseRate: *rate, MaxSessions: *maxSess, Trace: rec})
 	defer svc.Close()
 	// One registry carries both layers' series: the service registered its
 	// own at construction; the transport adds its socket-level counters.
 	udp.RegisterMetrics(svc.Metrics())
 	if *metricsA != "" {
+		// One diagnostics port: Prometheus metrics, Go pprof profiles, and
+		// flight-recorder dumps all live on the -metrics-addr mux (unknown
+		// paths get the mux's plain 404).
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", svc.Metrics().Handler())
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.HandleFunc("/debug/evtrace", func(w http.ResponseWriter, r *http.Request) {
+			events := rec.Snapshot()
+			if r.URL.Query().Get("format") == "chrome" {
+				w.Header().Set("Content-Type", "application/json")
+				if err := evtrace.WriteChrome(w, events); err != nil {
+					log.Printf("fountain-server: evtrace dump: %v", err)
+				}
+				return
+			}
+			w.Header().Set("Content-Type", "application/octet-stream")
+			w.Header().Set("Content-Disposition", `attachment; filename="fountain.evtrace"`)
+			if err := evtrace.WriteBinary(w, events); err != nil {
+				log.Printf("fountain-server: evtrace dump: %v", err)
+			}
+		})
+		mux.HandleFunc("/debug/evtrace/enable", func(w http.ResponseWriter, r *http.Request) {
+			rec.Enable()
+			fmt.Fprintln(w, "tracing enabled")
+		})
+		mux.HandleFunc("/debug/evtrace/disable", func(w http.ResponseWriter, r *http.Request) {
+			rec.Disable()
+			fmt.Fprintln(w, "tracing disabled")
+		})
 		msrv := &http.Server{Addr: *metricsA, Handler: mux}
 		ln, err := net.Listen("tcp", *metricsA)
 		if err != nil {
@@ -108,7 +153,7 @@ func main() {
 				log.Printf("fountain-server: metrics endpoint: %v", err)
 			}
 		}()
-		fmt.Printf("fountain-server: metrics at http://%s/metrics\n", ln.Addr())
+		fmt.Printf("fountain-server: metrics at http://%s/metrics (pprof at /debug/pprof/, trace dumps at /debug/evtrace)\n", ln.Addr())
 	}
 
 	for i, file := range files {

@@ -1,0 +1,91 @@
+// Command fountain-trace analyzes flight-recorder dumps produced by the
+// fountain stack (fountain-server's /debug/evtrace endpoint,
+// fountain-client -trace, or harness tests): it decomposes the packet
+// lifecycle per session, source and receiver — pacing jitter histograms,
+// channel fault accounting, intake→release decode latency, reception
+// overhead, and the time-to-decode distribution — straight from the binary
+// event stream, with no access to the processes that produced it.
+//
+// Usage:
+//
+//	fountain-trace trace.bin                 # human-readable summary
+//	fountain-trace -table trace.bin          # EXPERIMENTS.md-style markdown table
+//	fountain-trace -chrome out.json trace.bin  # convert for about://tracing / Perfetto
+//	fountain-trace -raw trace.bin            # dump every event
+//
+// Reading from standard input: use "-" as the file argument.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/evtrace"
+)
+
+func main() {
+	var (
+		table  = flag.Bool("table", false, "render an EXPERIMENTS.md-style markdown table instead of the summary")
+		chrome = flag.String("chrome", "", "convert the trace to Chrome trace-event JSON at this path and exit")
+		raw    = flag.Bool("raw", false, "print every event instead of the summary")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: fountain-trace [-table | -raw | -chrome out.json] trace.bin")
+		os.Exit(2)
+	}
+	events, err := readDump(flag.Arg(0))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	switch {
+	case *chrome != "":
+		f, err := os.Create(*chrome)
+		if err != nil {
+			log.Fatal(err)
+		}
+		werr := evtrace.WriteChrome(f, events)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			log.Fatal(werr)
+		}
+		fmt.Printf("fountain-trace: wrote %s (%d events); load it in about://tracing or Perfetto\n",
+			*chrome, len(events))
+	case *raw:
+		for _, ev := range events {
+			fmt.Printf("%12d %-14s sess=%#04x src=%d actor=%d layer=%d a=%d b=%d\n",
+				ev.TS, ev.Type, ev.Sess, ev.Src, ev.Actor, ev.Layer, ev.A, ev.B)
+		}
+	case *table:
+		if err := evtrace.Analyze(events).WriteTable(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		fmt.Printf("fountain-trace: %d events\n", len(events))
+		if err := evtrace.Analyze(events).WriteSummary(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}
+
+// readDump loads a binary dump from a file or, for "-", standard input.
+func readDump(path string) ([]evtrace.Event, error) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		r = f
+	}
+	return evtrace.ReadBinary(r)
+}

@@ -24,6 +24,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/evtrace"
 	"repro/internal/layered"
 	"repro/internal/metrics"
 	"repro/internal/proto"
@@ -74,6 +75,12 @@ type Engine struct {
 	sources map[int]*source
 	ids     []int // registration order (stats iteration)
 	level   int   // effective subscription level: min over source controllers
+
+	// Flight recorder: intake, drop, symbol-release and completion events
+	// stamped with this receiver's actor id. Nil-safe; one branch when off.
+	tr        *evtrace.Shard
+	trActor   uint16
+	traceDone bool // EvDone emitted (once, at the done transition)
 }
 
 // maxTrackedMissing bounds the per-(source, layer) window of refundable
@@ -190,6 +197,15 @@ func (e *Engine) minLevel() int {
 	return min
 }
 
+// SetTrace attaches a flight-recorder shard and the actor (receiver) id
+// stamped on this engine's events: packet intake, integrity drops, symbol
+// releases, and the decode-completion transition. The engine is
+// single-goroutine, so the shard may be shared with the delivering
+// transport for causally ordered streams.
+func (e *Engine) SetTrace(sh *evtrace.Shard, actor uint16) {
+	e.tr, e.trActor = sh, actor
+}
+
 // Controller exposes source 0's congestion controller (for tests/tuning of
 // single-source clients). A level forced through it is reflected by
 // Level() immediately; the transport setLevel callback still fires only on
@@ -219,6 +235,9 @@ func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 			s = e.addSource(src, e.level)
 		}
 		s.corrupt.Add(1)
+		if e.tr.On() {
+			e.tr.Emit(evtrace.EvIntakeDrop, e.info.Session, uint16(src), e.trActor, 0, uint64(len(pkt)), 0)
+		}
 		return e.rcv.Done(), nil
 	}
 	if err != nil {
@@ -287,6 +306,10 @@ func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 		s.lastSerial[h.Group] = h.Serial
 	}
 	s.received.Add(1)
+	if e.tr.On() {
+		e.tr.Emit(evtrace.EvIntake, e.info.Session, uint16(src), e.trActor, h.Group,
+			uint64(h.Serial), uint64(h.Index))
+	}
 	// Congestion control: only meaningful with multiple layers. The packet
 	// feeds its own source's controller; the level requested from the
 	// transport is the minimum across all sources — the highest rate every
@@ -315,8 +338,18 @@ func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 	}
 	if _, d1, _ := e.rcv.Stats(); d1 > d0 {
 		s.distinct.Add(1)
+		if e.tr.On() {
+			e.tr.Emit(evtrace.EvSymbol, e.info.Session, uint16(src), e.trActor, h.Group,
+				uint64(h.Index), uint64(d1))
+		}
 	} else {
 		s.duplicate.Add(1)
+	}
+	if done && !e.traceDone && e.tr.On() {
+		e.traceDone = true
+		total, distinct, k := e.rcv.Stats()
+		e.tr.Emit(evtrace.EvDone, e.info.Session, uint16(src), e.trActor, 0,
+			uint64(total), uint64(k)<<32|uint64(uint32(distinct)))
 	}
 	return done, nil
 }
@@ -428,20 +461,20 @@ func (e *Engine) MeasuredLoss() float64 {
 func (e *Engine) RegisterMetrics(r *metrics.Registry) {
 	for _, id := range e.Sources() {
 		s := e.sources[id]
-		suffix := `{source="` + strconv.Itoa(id) + `"}`
-		r.CounterFunc("fountain_client_received_total"+suffix,
+		src := strconv.Itoa(id)
+		r.CounterFunc(metrics.Label("fountain_client_received_total", "source", src),
 			"packets accepted from the source",
 			func() uint64 { return uint64(s.received.Load()) })
-		r.CounterFunc("fountain_client_lost_total"+suffix,
+		r.CounterFunc(metrics.Label("fountain_client_lost_total", "source", src),
 			"packets counted lost from serial gaps (net of reorder refunds)",
 			func() uint64 { return uint64(s.lost.Load()) })
-		r.CounterFunc("fountain_client_corrupt_total"+suffix,
+		r.CounterFunc(metrics.Label("fountain_client_corrupt_total", "source", src),
 			"packets dropped for a failed integrity tag",
 			func() uint64 { return uint64(s.corrupt.Load()) })
-		r.CounterFunc("fountain_client_distinct_total"+suffix,
+		r.CounterFunc(metrics.Label("fountain_client_distinct_total", "source", src),
 			"packets that were new to the decoder",
 			func() uint64 { return uint64(s.distinct.Load()) })
-		r.CounterFunc("fountain_client_duplicate_total"+suffix,
+		r.CounterFunc(metrics.Label("fountain_client_duplicate_total", "source", src),
 			"packets the decoder had already seen",
 			func() uint64 { return uint64(s.duplicate.Load()) })
 	}

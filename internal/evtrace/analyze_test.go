@@ -1,0 +1,159 @@
+package evtrace
+
+import (
+	"strings"
+	"testing"
+)
+
+// stream builds a small synthetic scenario: one session, two mirrors, one
+// receiver that completes after mirror 0 has begun 3 rounds and mirror 1
+// has begun 2.
+func analyzerStream() []Event {
+	const sess = 0x2A
+	return []Event{
+		{TS: 0, Type: EvSlotScheduled, Sess: sess, Src: 0, A: 100},
+		{TS: 100, Type: EvSlotFired, Sess: sess, Src: 0, A: 100, B: 150},
+		{TS: 100, Type: EvRound, Sess: sess, Src: 0, A: 1},
+		{TS: 110, Type: EvTxBatch, Sess: sess, Src: 0, A: 4, B: 4096},
+		{TS: 120, Type: EvChDeliver, Sess: sess, Src: 0, Actor: 1, A: 1024},
+		{TS: 121, Type: EvIntake, Sess: sess, Src: 0, Actor: 1, A: 1, B: 9},
+		{TS: 122, Type: EvSymbol, Sess: sess, Src: 0, Actor: 1, A: 9, B: 1},
+		{TS: 200, Type: EvRound, Sess: sess, Src: 1, A: 1},
+		{TS: 210, Type: EvTxBatch, Sess: sess, Src: 1, A: 4, B: 4096},
+		{TS: 220, Type: EvChLoss, Sess: sess, Src: 1, Actor: 1, A: 1024},
+		{TS: 300, Type: EvRound, Sess: sess, Src: 0, A: 2},
+		{TS: 320, Type: EvChCorrupt, Sess: sess, Src: 0, Actor: 1, A: 1024},
+		{TS: 321, Type: EvIntakeDrop, Sess: sess, Src: 0, Actor: 1},
+		{TS: 400, Type: EvRound, Sess: sess, Src: 1, A: 2},
+		{TS: 420, Type: EvChDup, Sess: sess, Src: 1, Actor: 1, A: 1024},
+		{TS: 421, Type: EvIntake, Sess: sess, Src: 1, Actor: 1, A: 2, B: 5},
+		{TS: 430, Type: EvSymbol, Sess: sess, Src: 1, Actor: 1, A: 5, B: 2},
+		{TS: 500, Type: EvRound, Sess: sess, Src: 0, A: 3},
+		{TS: 520, Type: EvChDeliver, Sess: sess, Src: 0, Actor: 1, A: 1024},
+		{TS: 521, Type: EvIntake, Sess: sess, Src: 0, Actor: 1, A: 3, B: 7},
+		{TS: 522, Type: EvSymbol, Sess: sess, Src: 0, Actor: 1, A: 7, B: 3},
+		{TS: 522, Type: EvDone, Sess: sess, Src: 0, Actor: 1, A: 3, B: 2<<32 | 3},
+	}
+}
+
+func TestAnalyzeAccounting(t *testing.T) {
+	a := Analyze(analyzerStream())
+	sa := a.Sessions[0x2A]
+	if sa == nil {
+		t.Fatal("session missing")
+	}
+	m0, m1 := sa.Mirrors[0], sa.Mirrors[1]
+	if m0.Rounds != 3 || m1.Rounds != 2 {
+		t.Fatalf("rounds = %d,%d want 3,2", m0.Rounds, m1.Rounds)
+	}
+	if m0.Batches != 1 || m0.Packets != 4 || m0.Bytes != 4096 {
+		t.Fatalf("mirror 0 batches=%d packets=%d bytes=%d", m0.Batches, m0.Packets, m0.Bytes)
+	}
+	if m0.Jitter.Count != 1 || m0.Jitter.Max != 50 {
+		t.Fatalf("mirror 0 jitter count=%d max=%d", m0.Jitter.Count, m0.Jitter.Max)
+	}
+
+	r := sa.Receivers[1]
+	if r == nil {
+		t.Fatal("receiver missing")
+	}
+	if r.Received != 3 || r.Distinct != 3 || r.CorruptDrops != 1 {
+		t.Fatalf("received=%d distinct=%d drops=%d", r.Received, r.Distinct, r.CorruptDrops)
+	}
+	if !r.Done || r.K != 2 || r.DoneTotal != 3 || r.DoneDist != 3 {
+		t.Fatalf("done=%v k=%d total=%d dist=%d", r.Done, r.K, r.DoneTotal, r.DoneDist)
+	}
+	// At EvDone, mirror 0 had begun 3 rounds and mirror 1 had begun 2:
+	// rounds-to-decode is the max.
+	if got := r.RoundsToDecode(); got != 3 {
+		t.Fatalf("RoundsToDecode = %d, want 3", got)
+	}
+	if got := r.Overhead(); got != 1.5 {
+		t.Fatalf("Overhead = %v, want 1.5", got)
+	}
+	if got := r.TimeToDecode(); got != 522-121 {
+		t.Fatalf("TimeToDecode = %d, want %d", got, 522-121)
+	}
+
+	c0 := r.Channel[0]
+	if c0.Delivered != 2 || c0.Corrupted != 1 || c0.Lost != 0 {
+		t.Fatalf("channel 0: %+v", c0)
+	}
+	c1 := r.Channel[1]
+	if c1.Lost != 1 || c1.Duplicated != 1 {
+		t.Fatalf("channel 1: %+v", c1)
+	}
+}
+
+func TestAnalyzeIncompleteReceiver(t *testing.T) {
+	a := Analyze([]Event{
+		{TS: 1, Type: EvIntake, Sess: 1, Actor: 0, A: 1},
+	})
+	r := a.Sessions[1].Receivers[0]
+	if r.Done {
+		t.Fatal("receiver should not be done")
+	}
+	if r.RoundsToDecode() != -1 || r.Overhead() != 0 || r.TimeToDecode() != -1 {
+		t.Fatal("incomplete receiver should report sentinel values")
+	}
+}
+
+func TestTTDQuantiles(t *testing.T) {
+	sa := &SessionAnalysis{Receivers: map[uint16]*ReceiverStats{}}
+	for i := 0; i < 10; i++ {
+		sa.Receivers[uint16(i)] = &ReceiverStats{
+			Actor: uint16(i), Done: true, hasFirst: true,
+			FirstTS: 0, DoneTS: int64((i + 1) * 100),
+		}
+	}
+	qs := sa.TTDQuantiles(0.10, 0.50, 1.0)
+	if qs[0] != 100 || qs[1] != 500 || qs[2] != 1000 {
+		t.Fatalf("quantiles = %v", qs)
+	}
+	empty := &SessionAnalysis{Receivers: map[uint16]*ReceiverStats{}}
+	if empty.TTDQuantiles(0.5) != nil {
+		t.Fatal("empty population should return nil")
+	}
+}
+
+func TestWriteSummaryAndTable(t *testing.T) {
+	a := Analyze(analyzerStream())
+	var sum strings.Builder
+	if err := a.WriteSummary(&sum); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"session 0x002a", "mirror 0", "rounds=3", "receiver 1", "overhead=1.5000", "delivered=2"} {
+		if !strings.Contains(sum.String(), want) {
+			t.Fatalf("summary missing %q:\n%s", want, sum.String())
+		}
+	}
+	var tbl strings.Builder
+	if err := a.WriteTable(&tbl); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(tbl.String(), "| 0x002a | 1 | 2 | 3 | 3 | 2 | 1.5000 | 3 |") {
+		t.Fatalf("table row missing:\n%s", tbl.String())
+	}
+}
+
+func TestJitterHistogramBuckets(t *testing.T) {
+	var j JitterStats
+	j.observe(5_000)       // le=10µs
+	j.observe(70_000)      // le=100µs
+	j.observe(200_000_000) // +Inf
+	if j.Buckets[0] != 1 {
+		t.Fatalf("bucket 0 = %d", j.Buckets[0])
+	}
+	if j.Buckets[2] != 1 {
+		t.Fatalf("bucket le=100µs = %d", j.Buckets[2])
+	}
+	if j.Buckets[len(jitterBounds)] != 1 {
+		t.Fatalf("+Inf bucket = %d", j.Buckets[len(jitterBounds)])
+	}
+	if j.Max != 200_000_000 || j.Count != 3 {
+		t.Fatalf("max=%d count=%d", j.Max, j.Count)
+	}
+	if mean := j.Mean(); mean < 66_000_000 || mean > 67_000_000 {
+		t.Fatalf("mean = %v", mean)
+	}
+}

@@ -1,0 +1,168 @@
+package evtrace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// The binary dump format is a fixed 16-byte header followed by raw
+// little-endian 32-byte events:
+//
+//	offset 0  [8]byte  magic "EVTRACE1"
+//	offset 8  uint64   event count
+//	offset 16 ...      count * 32-byte events
+//
+// Each event encodes as TS(int64) A(uint64) B(uint64) Sess(uint16)
+// Src(uint16) Actor(uint16) Type(uint8) Layer(uint8), little-endian.
+// The format is deliberately dumb: a dump of a deterministic scenario is a
+// pure function of the event stream, so bit-identical traces compare with
+// bytes.Equal and survive being diffed.
+
+// binaryMagic identifies a dump and its version.
+var binaryMagic = [8]byte{'E', 'V', 'T', 'R', 'A', 'C', 'E', '1'}
+
+// EncodeEvent appends the 32-byte wire form of ev to dst.
+func EncodeEvent(dst []byte, ev Event) []byte {
+	var buf [EventSize]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(ev.TS))
+	binary.LittleEndian.PutUint64(buf[8:16], ev.A)
+	binary.LittleEndian.PutUint64(buf[16:24], ev.B)
+	binary.LittleEndian.PutUint16(buf[24:26], ev.Sess)
+	binary.LittleEndian.PutUint16(buf[26:28], ev.Src)
+	binary.LittleEndian.PutUint16(buf[28:30], ev.Actor)
+	buf[30] = uint8(ev.Type)
+	buf[31] = ev.Layer
+	return append(dst, buf[:]...)
+}
+
+// DecodeEvent parses one 32-byte wire event.
+func DecodeEvent(b []byte) (Event, error) {
+	if len(b) < EventSize {
+		return Event{}, fmt.Errorf("evtrace: short event: %d bytes", len(b))
+	}
+	return Event{
+		TS:    int64(binary.LittleEndian.Uint64(b[0:8])),
+		A:     binary.LittleEndian.Uint64(b[8:16]),
+		B:     binary.LittleEndian.Uint64(b[16:24]),
+		Sess:  binary.LittleEndian.Uint16(b[24:26]),
+		Src:   binary.LittleEndian.Uint16(b[26:28]),
+		Actor: binary.LittleEndian.Uint16(b[28:30]),
+		Type:  Type(b[30]),
+		Layer: b[31],
+	}, nil
+}
+
+// WriteBinary writes the events as a binary dump.
+func WriteBinary(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binaryMagic[:]); err != nil {
+		return err
+	}
+	var hdr [8]byte
+	binary.LittleEndian.PutUint64(hdr[:], uint64(len(events)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, EventSize)
+	for _, ev := range events {
+		buf = EncodeEvent(buf[:0], ev)
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses a binary dump back into events.
+func ReadBinary(r io.Reader) ([]Event, error) {
+	br := bufio.NewReader(r)
+	var hdr [16]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("evtrace: reading dump header: %w", err)
+	}
+	if [8]byte(hdr[:8]) != binaryMagic {
+		return nil, fmt.Errorf("evtrace: bad magic %q", hdr[:8])
+	}
+	count := binary.LittleEndian.Uint64(hdr[8:16])
+	const maxEvents = 1 << 30 // refuse absurd headers before allocating
+	if count > maxEvents {
+		return nil, fmt.Errorf("evtrace: dump claims %d events", count)
+	}
+	events := make([]Event, 0, count)
+	buf := make([]byte, EventSize)
+	for i := uint64(0); i < count; i++ {
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("evtrace: truncated dump at event %d: %w", i, err)
+		}
+		ev, err := DecodeEvent(buf)
+		if err != nil {
+			return nil, err
+		}
+		events = append(events, ev)
+	}
+	return events, nil
+}
+
+// chromeEvent is one record of the Chrome trace-event JSON format
+// (about://tracing, Perfetto): instant events for lifecycle points,
+// complete ("X") events for fired slots so pacing jitter renders as a
+// visible duration.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	Dur   float64        `json:"dur,omitempty"`
+	PID   uint64         `json:"pid"`
+	TID   uint64         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeTID folds the event's origin into a stable thread id: server-side
+// events (scheduler, round, batch) render per source/mirror; client-side
+// events render per receiver, offset so the two groups never collide.
+func chromeTID(ev Event) uint64 {
+	switch ev.Type {
+	case EvIntake, EvIntakeDrop, EvSymbol, EvDone, EvChDeliver, EvChLoss, EvChCorrupt, EvChDup:
+		return 1000 + uint64(ev.Actor)
+	default:
+		return uint64(ev.Src)
+	}
+}
+
+// WriteChrome renders the events as Chrome trace-event JSON: processes are
+// sessions, threads are mirrors (server side) and receivers (client side,
+// tid 1000+actor). Load the output in about://tracing or Perfetto.
+func WriteChrome(w io.Writer, events []Event) error {
+	type traceFile struct {
+		TraceEvents     []chromeEvent `json:"traceEvents"`
+		DisplayTimeUnit string        `json:"displayTimeUnit"`
+	}
+	out := traceFile{DisplayTimeUnit: "ns", TraceEvents: make([]chromeEvent, 0, len(events))}
+	for _, ev := range events {
+		ce := chromeEvent{
+			Name:  ev.Type.String(),
+			Phase: "i",
+			Scope: "t",
+			TS:    float64(ev.TS) / 1e3,
+			PID:   uint64(ev.Sess),
+			TID:   chromeTID(ev),
+			Args: map[string]any{
+				"a": ev.A, "b": ev.B, "layer": ev.Layer, "src": ev.Src, "actor": ev.Actor,
+			},
+		}
+		if ev.Type == EvSlotFired && ev.B >= ev.A {
+			// Render the slot's pacing jitter as a span from the scheduled
+			// deadline to the actual pop.
+			ce.Phase, ce.Scope = "X", ""
+			ce.TS = float64(ev.A) / 1e3
+			ce.Dur = float64(ev.B-ev.A) / 1e3
+		}
+		out.TraceEvents = append(out.TraceEvents, ce)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(out)
+}

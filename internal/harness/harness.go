@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/client"
 	"repro/internal/core"
+	"repro/internal/evtrace"
 	"repro/internal/netsim"
 	"repro/internal/proto"
 	"repro/internal/service"
@@ -50,6 +51,14 @@ type Config struct {
 	// mirrors evenly across one full carousel cycle, the §8 prescription
 	// for minimizing early duplicates.
 	Phases []int
+	// Trace attaches a flight recorder to the whole testbed: mirror i's
+	// send path is tagged Src=i, receiver j's intake and channel events
+	// Actor=j, and the recorder's clock is switched to the pump's virtual
+	// time (nanoseconds). Everything — all mirrors, channels and receivers
+	// run on the single pump goroutine — emits through shard 0, so the
+	// merged stream preserves causal emission order and a deterministic
+	// scenario's trace is bit-identical across runs.
+	Trace *evtrace.Recorder
 }
 
 // Mirror is one mirror server of the testbed.
@@ -155,10 +164,16 @@ func New(cfg Config) (*Testbed, error) {
 		return nil, fmt.Errorf("harness: %d phases for %d mirrors", len(cfg.Phases), cfg.Mirrors)
 	}
 	tb := &Testbed{cfg: cfg, sess: sess, pump: transport.NewPump()}
+	if cfg.Trace != nil {
+		// Virtual-time stamps: the trace of a deterministic scenario becomes
+		// a pure function of its seeds.
+		pump := tb.pump
+		cfg.Trace.SetClock(func() int64 { return int64(pump.Now() * 1e9) })
+	}
 	id := cfg.Session.Session
 	for i := 0; i < cfg.Mirrors; i++ {
 		bus := transport.NewBus(sess.Config().Layers)
-		svc := service.New(bus, service.Config{BaseRate: cfg.Rate})
+		svc := service.New(bus, service.Config{BaseRate: cfg.Rate, Trace: cfg.Trace, TraceID: uint16(i)})
 		car, err := svc.AddManual(sess, cfg.Rate, cfg.Phases[i])
 		if err != nil {
 			svc.Close()
@@ -261,6 +276,8 @@ func (tb *Testbed) AddReceiverWith(opts ReceiverOpts) (*Receiver, error) {
 		return nil, err
 	}
 	r.Engine = eng
+	actor := uint16(len(tb.Receivers))
+	eng.SetTrace(tb.cfg.Trace.Shard(0), actor)
 	r.got = make([]uint64, len(tb.Mirrors))
 	lastGot := make([]uint64, len(tb.Mirrors))
 	for mi, m := range tb.Mirrors {
@@ -293,6 +310,7 @@ func (tb *Testbed) AddReceiverWith(opts ReceiverOpts) (*Receiver, error) {
 		if opts.ReorderDepth > 0 {
 			bc.SetReorder(opts.ReorderDepth, opts.ReorderSeed+int64(src))
 		}
+		bc.SetTrace(tb.cfg.Trace.Shard(0), tb.cfg.Session.Session, uint16(src), actor)
 		r.clients = append(r.clients, bc)
 	}
 	if opts.WakeFor > 0 && opts.SleepFor > 0 {

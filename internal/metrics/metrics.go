@@ -83,8 +83,16 @@ func NewHistogram(bounds ...int64) *Histogram {
 	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 }
 
-// Observe records one observation.
+// Observe records one observation. Negative observations are clamped to
+// zero: they count in the first bucket and contribute nothing to the sum.
+// The sum is an unsigned atomic (one add, no CAS loop, on the hot path),
+// so a negative value added verbatim would wrap it by ~2^64 and corrupt
+// every subsequent scrape of the _sum series; clamping keeps the count
+// honest while bounding the damage of a caller's bad clock math to zero.
 func (h *Histogram) Observe(v int64) {
+	if v < 0 {
+		v = 0
+	}
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
@@ -144,6 +152,57 @@ type Registry struct {
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{byName: make(map[string]struct{})}
+}
+
+// Label builds a series name carrying one label: base{key="value"}, with
+// the value escaped per the Prometheus text format (backslash, double
+// quote, and newline become \\, \", and \n). Use it wherever a label value
+// is not a literal under the caller's control — a file name, an address, an
+// operator-supplied tag — so a stray quote cannot break the exposition into
+// unparseable lines.
+func Label(base, key, value string) string {
+	var b strings.Builder
+	b.Grow(len(base) + len(key) + len(value) + 5)
+	b.WriteString(base)
+	b.WriteByte('{')
+	b.WriteString(key)
+	b.WriteString(`="`)
+	for i := 0; i < len(value); i++ {
+		switch c := value[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// escapeHelp escapes a HELP string per the text format: backslash and
+// newline only (quotes are legal in help text). Returns s unchanged — no
+// allocation — when nothing needs escaping.
+func escapeHelp(s string) string {
+	if !strings.ContainsAny(s, "\\\n") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 4)
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
 }
 
 // baseName strips a {label="..."} suffix off a series name.
@@ -289,7 +348,7 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 				b.WriteString("# HELP ")
 				b.WriteString(s.base)
 				b.WriteByte(' ')
-				b.WriteString(s.help)
+				b.WriteString(escapeHelp(s.help))
 				b.WriteByte('\n')
 			}
 			b.WriteString("# TYPE ")

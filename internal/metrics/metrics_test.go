@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"strings"
 	"sync"
 	"testing"
@@ -94,6 +95,156 @@ func TestWriteToFormat(t *testing.T) {
 			t.Fatalf("unparseable exposition line %q", line)
 		}
 	}
+}
+
+// TestHistogramNegativeClamp: negative observations must be clamped to
+// zero — counted in the first bucket, contributing nothing to the sum — so
+// a single bad measurement (e.g. clock skew producing a negative latency)
+// cannot wrap the unsigned sum and poison the _sum series forever.
+func TestHistogramNegativeClamp(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("neg_test", "latencies", 10, 100)
+	h.Observe(-5)
+	h.Observe(-1 << 40)
+	h.Observe(7)
+	if got := h.Count(); got != 3 {
+		t.Fatalf("count = %d, want 3", got)
+	}
+	if got := h.Sum(); got != 7 {
+		t.Fatalf("sum = %d, want 7 (negative observations leaked in)", got)
+	}
+	// Regression on the exposition itself: without the clamp the _sum line
+	// rendered as an astronomically large wrapped uint64.
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		`neg_test_bucket{le="10"} 3` + "\n", // both negatives clamp into the first bucket
+		`neg_test_bucket{le="100"} 3` + "\n",
+		`neg_test_bucket{le="+Inf"} 3` + "\n",
+		"neg_test_sum 7\n",
+		"neg_test_count 3\n",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestHelpEscaping: HELP text containing backslashes or newlines must be
+// escaped per the text format — an unescaped newline would split the
+// comment into a garbage line no scraper can parse.
+func TestHelpEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("esc_total", "path C:\\tmp\nsecond line").Add(1)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	want := `# HELP esc_total path C:\\tmp\nsecond line` + "\n"
+	if !strings.Contains(text, want) {
+		t.Fatalf("exposition missing %q:\n%s", want, text)
+	}
+	for _, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		if !strings.HasPrefix(line, "#") && len(strings.Fields(line)) != 2 {
+			t.Fatalf("help newline broke the exposition: %q", line)
+		}
+	}
+	// The common case — plain help — must not pay an allocation for escaping.
+	if s := escapeHelp("plain help text"); s != "plain help text" {
+		t.Fatalf("escapeHelp mangled plain text: %q", s)
+	}
+}
+
+// TestLabelEscaping: Label must escape backslash, quote, and newline in the
+// value so hostile or merely unlucky label values (file paths, addresses)
+// stay inside the quotes.
+func TestLabelEscaping(t *testing.T) {
+	got := Label("files_total", "path", "C:\\data\n\"x\"")
+	want := `files_total{path="C:\\data\n\"x\""}`
+	if got != want {
+		t.Fatalf("Label = %q, want %q", got, want)
+	}
+	if got := Label("a", "k", "v"); got != `a{k="v"}` {
+		t.Fatalf("Label = %q", got)
+	}
+	// End to end: the escaped series must register and expose as one
+	// parseable line with the suffix verbatim.
+	r := NewRegistry()
+	r.Counter(Label("files_total", "path", `a"b`), "").Add(4)
+	var sb strings.Builder
+	if _, err := r.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `files_total{path="a\"b"} 4`+"\n") {
+		t.Fatalf("escaped label series missing:\n%s", sb.String())
+	}
+}
+
+// TestWriteToConcurrentConsistency: every single exposition rendered while
+// observations race must be internally consistent — buckets cumulative and
+// monotone within the scrape, the +Inf bucket equal to _count, and _count
+// never regressing across scrapes.
+func TestWriteToConcurrentConsistency(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("ht", "", 2, 16)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			h.Observe(i % 32)
+		}
+	}()
+	var lastCount uint64
+	for i := 0; i < 300; i++ {
+		var sb strings.Builder
+		if _, err := r.WriteTo(&sb); err != nil {
+			t.Fatal(err)
+		}
+		var cum []uint64
+		var count uint64
+		for _, line := range strings.Split(sb.String(), "\n") {
+			switch {
+			case strings.HasPrefix(line, "ht_bucket"):
+				var v uint64
+				if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &v); err != nil {
+					t.Fatalf("bad bucket line %q: %v", line, err)
+				}
+				cum = append(cum, v)
+			case strings.HasPrefix(line, "ht_count"):
+				if _, err := fmt.Sscanf(line[strings.LastIndexByte(line, ' ')+1:], "%d", &count); err != nil {
+					t.Fatalf("bad count line %q: %v", line, err)
+				}
+			}
+		}
+		if len(cum) != 3 {
+			t.Fatalf("scrape %d: %d bucket lines, want 3", i, len(cum))
+		}
+		for j := 1; j < len(cum); j++ {
+			if cum[j] < cum[j-1] {
+				t.Fatalf("scrape %d: buckets not cumulative: %v", i, cum)
+			}
+		}
+		if cum[len(cum)-1] != count {
+			t.Fatalf("scrape %d: +Inf bucket %d != _count %d", i, cum[len(cum)-1], count)
+		}
+		if count < lastCount {
+			t.Fatalf("scrape %d: _count regressed %d -> %d", i, lastCount, count)
+		}
+		lastCount = count
+	}
+	close(stop)
+	wg.Wait()
 }
 
 // TestSnapshot: every series appears, sorted, histograms as _count/_sum.

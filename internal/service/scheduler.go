@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/evtrace"
 	"repro/internal/transport"
 )
 
@@ -35,7 +36,8 @@ type schedEvent struct {
 // and a pooled emitter. Sessions are spread round-robin across shards.
 type shard struct {
 	svc   *Service
-	epoch time.Time // the deadline clock's zero, fixed at construction
+	epoch time.Time      // the deadline clock's zero, fixed at construction
+	tr    *evtrace.Shard // flight-recorder handle (nil-safe, one branch when off)
 	mu    sync.Mutex
 	heap  []*schedEvent // min-heap by next
 	kick  chan struct{}
@@ -56,6 +58,7 @@ func newScheduler(svc *Service, ctx context.Context, shards int) *scheduler {
 		sh := &shard{
 			svc:   svc,
 			epoch: sc.epoch,
+			tr:    svc.cfg.Trace.Shard(i),
 			kick:  make(chan struct{}, 1),
 			done:  make(chan struct{}),
 		}
@@ -72,6 +75,10 @@ func (sc *scheduler) add(e *entry, interval time.Duration) {
 	sc.nextSh++
 	ev := &schedEvent{e: e, next: time.Since(sc.epoch), interval: interval, shard: sh}
 	e.ev = ev
+	if sh.tr.On() {
+		sh.tr.Emit(evtrace.EvSlotScheduled, e.sess.Config().Session, sc.svc.cfg.TraceID, 0, 0,
+			uint64(ev.next), 0)
+	}
 	sh.mu.Lock()
 	sh.push(ev)
 	sh.mu.Unlock()
@@ -110,7 +117,7 @@ func (sh *shard) wake() {
 // nothing.
 func (sh *shard) run(ctx context.Context) {
 	defer close(sh.done)
-	em := newEmitter(sh.svc)
+	em := newEmitter(sh.svc, sh.tr)
 	timer := time.NewTimer(time.Hour)
 	defer timer.Stop()
 	for {
@@ -158,7 +165,12 @@ func (sh *shard) run(ctx context.Context) {
 		if !ev.removed {
 			sh.push(ev)
 		}
+		rearmed := !ev.removed
 		sh.mu.Unlock()
+		if rearmed && sh.tr.On() {
+			sh.tr.Emit(evtrace.EvSlotScheduled, ev.e.sess.Config().Session, sh.svc.cfg.TraceID, 0, 0,
+				uint64(ev.next), 0)
+		}
 	}
 }
 
@@ -178,6 +190,12 @@ func (sh *shard) emitDue(ev *schedEvent, em *emitter) {
 	e := ev.e
 	e.emitMu.Lock()
 	defer e.emitMu.Unlock()
+	if sh.tr.On() {
+		// Pacing jitter: the deadline the slot was armed for vs. when the
+		// worker actually popped it.
+		sh.tr.Emit(evtrace.EvSlotFired, e.sess.Config().Session, sh.svc.cfg.TraceID, 0, 0,
+			uint64(ev.next), uint64(time.Since(sh.epoch)))
+	}
 	for rounds := 0; ; {
 		if e.stopped {
 			return
@@ -257,10 +275,12 @@ type emitter struct {
 	bufs    []*transport.Buf // pooled buffers of the in-progress batch
 	batch   [][]byte         // packets of the in-progress batch
 	layer   int
+	tr      *evtrace.Shard // flight-recorder handle (nil-safe)
+	sess    uint16         // session of the round in flight; set while tracing
 }
 
-func newEmitter(svc *Service) emitter {
-	return emitter{svc: svc, free: transport.NewFreeList(svc.pool)}
+func newEmitter(svc *Service, tr *evtrace.Shard) emitter {
+	return emitter{svc: svc, free: transport.NewFreeList(svc.pool), tr: tr}
 }
 
 // PacketBuf implements core.RoundEmitter. The buffer joins the batch only
@@ -298,6 +318,16 @@ func (em *emitter) Emit(layer int, pkt []byte) error {
 // eventually) and releases the batch's buffers to the pool.
 func (em *emitter) flush() {
 	if len(em.batch) > 0 {
+		if em.tr.On() {
+			// Before SendBatch, so channel events of the batch's deliveries
+			// follow their tx event in single-shard stream order.
+			var nb uint64
+			for _, p := range em.batch {
+				nb += uint64(len(p))
+			}
+			em.tr.Emit(evtrace.EvTxBatch, em.sess, em.svc.cfg.TraceID, 0, uint8(em.layer),
+				uint64(len(em.batch)), nb)
+		}
 		countingSender{em.svc}.SendBatch(em.layer, em.batch)
 	}
 	for i, b := range em.bufs {
@@ -312,7 +342,17 @@ func (em *emitter) flush() {
 // carousel can only fail on emit errors, and Emit never fails, so the
 // round always completes; sends themselves are counted (and their errors
 // swallowed) by the counting sender.
+// The EvRound event fires at the start, before NextRoundTo advances the
+// carousel's round counter: a trace consumer counting EvRound events per
+// source therefore sees exactly Carousel.Rounds() at any downstream event
+// of the same stream — including a receiver's completion mid-round, which
+// is when the harness snapshots its rounds-to-decode.
 func (em *emitter) emitRound(car *core.Carousel) {
+	if em.tr.On() {
+		em.sess = car.Session().Config().Session
+		em.tr.Emit(evtrace.EvRound, em.sess, em.svc.cfg.TraceID, 0, 0,
+			uint64(car.Rounds()), uint64(car.Sent()))
+	}
 	_ = car.NextRoundTo(em)
 	em.flush()
 	em.svc.rounds.Inc()

@@ -24,10 +24,12 @@ import (
 	"fmt"
 	"runtime"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/evtrace"
 	"repro/internal/metrics"
 	"repro/internal/proto"
 	"repro/internal/server"
@@ -53,6 +55,16 @@ type Config struct {
 	// per-session cost is small but not zero (a heap entry, cached blocks),
 	// so an operator can bound it.
 	MaxSessions int
+	// Trace attaches a flight recorder to the send path: scheduler slot
+	// events, round starts and tx-batch flushes are recorded through it
+	// (nil = no tracing, at the cost of one predictable branch per site).
+	// Scheduler shard i emits through recorder shard i; the manual-emission
+	// path (EmitRound) emits through shard 0.
+	Trace *evtrace.Recorder
+	// TraceID is the source id stamped on this service's trace events
+	// (Event.Src) — harnesses tag each mirror with its index; a standalone
+	// server leaves it 0.
+	TraceID uint16
 }
 
 // ErrSessionLimit is returned by Add/AddData when Config.MaxSessions is
@@ -169,7 +181,7 @@ func New(tx server.Sender, cfg Config) *Service {
 	if bs, ok := tx.(transport.Sender); ok {
 		s.txBatch = bs
 	}
-	s.manualEm = newEmitter(s)
+	s.manualEm = newEmitter(s, cfg.Trace.Shard(0))
 	s.sched = newScheduler(s, ctx, cfg.Shards)
 	s.reg = metrics.NewRegistry()
 	s.registerMetrics(s.reg)
@@ -213,7 +225,7 @@ func (s *Service) registerMetrics(r *metrics.Registry) {
 	})
 	for i, sh := range s.sched.shards {
 		sh := sh
-		r.GaugeFunc(fmt.Sprintf(`fountain_sched_backlog{shard="%d"}`, i),
+		r.GaugeFunc(metrics.Label("fountain_sched_backlog", "shard", strconv.Itoa(i)),
 			"paced sessions queued on the shard's deadline heap",
 			func() float64 {
 				sh.mu.Lock()

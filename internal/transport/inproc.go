@@ -16,6 +16,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/evtrace"
 	"repro/internal/netsim"
 )
 
@@ -149,6 +150,12 @@ type BusClient struct {
 	nLost       atomic.Uint64 // drops by the loss process (not sleep/level filtering)
 	nCorrupted  atomic.Uint64 // deliveries with the one-byte flip applied
 	nDuplicated atomic.Uint64 // extra copies delivered by the duplication process
+
+	// Flight-recorder handle and identity: every ground-truth count above
+	// has a matching trace event, emitted at the same decision point, so a
+	// trace's channel accounting reconciles exactly against FaultStats.
+	tr                     *evtrace.Shard
+	trSess, trSrc, trActor uint16
 }
 
 // FaultStats is a BusClient's ground-truth fault accounting: what the
@@ -251,14 +258,29 @@ func (c *BusClient) SetReorder(depth int, seed int64) {
 	}
 	h := c.handler
 	closed := c.closed
+	tr, sess, src, actor := c.tr, c.trSess, c.trSrc, c.trActor
 	c.mu.Unlock()
 	if closed || h == nil {
 		return
 	}
 	for _, q := range flush {
 		c.nDelivered.Add(1)
+		if tr.On() {
+			tr.Emit(evtrace.EvChDeliver, sess, src, actor, uint8(q.layer), uint64(len(q.pkt)), 0)
+		}
 		h(q.layer, q.pkt)
 	}
+}
+
+// SetTrace attaches a flight-recorder shard and the identity (session,
+// source, receiver) stamped on this client's channel events. Call before
+// traffic flows; nil detaches. The fault pipeline then emits one event per
+// ground-truth count — deliver/loss/corrupt/duplicate — at the moment the
+// decision is taken.
+func (c *BusClient) SetTrace(sh *evtrace.Shard, sess, src, actor uint16) {
+	c.mu.Lock()
+	c.tr, c.trSess, c.trSrc, c.trActor = sh, sess, src, actor
+	c.mu.Unlock()
 }
 
 // SetAsleep pauses (true) or resumes (false) the client: an asleep client
@@ -330,6 +352,9 @@ func (c *BusClient) deliver(layer int, pkt []byte) {
 	}
 	if lp != nil && lp.Lose() {
 		c.nLost.Add(1)
+		if c.tr.On() {
+			c.tr.Emit(evtrace.EvChLoss, c.trSess, c.trSrc, c.trActor, uint8(layer), uint64(len(pkt)), 0)
+		}
 		c.mu.Unlock()
 		return
 	}
@@ -342,9 +367,13 @@ func (c *BusClient) deliver(layer int, pkt []byte) {
 		c.scratch[int(c.faultN%uint64(len(c.scratch)))] ^= 0x55
 		out = c.scratch
 		c.nCorrupted.Add(1)
+		if c.tr.On() {
+			c.tr.Emit(evtrace.EvChCorrupt, c.trSess, c.trSrc, c.trActor, uint8(layer), uint64(len(pkt)), 0)
+		}
 	}
 	c.faultN++
 	dup := c.dup != nil && c.dup.Lose()
+	tr, sess, src, actor := c.tr, c.trSess, c.trSrc, c.trActor
 	if c.reorderDepth > 0 {
 		// Queue a copy (the caller reuses pkt as soon as Send returns) and
 		// release a pseudorandom queued packet once the buffer is full.
@@ -365,10 +394,17 @@ func (c *BusClient) deliver(layer int, pkt []byte) {
 			return
 		}
 		c.nDelivered.Add(1)
+		if tr.On() {
+			tr.Emit(evtrace.EvChDeliver, sess, src, actor, uint8(rel.layer), uint64(len(rel.pkt)), 0)
+		}
 		h(rel.layer, rel.pkt)
 		if dup {
 			c.nDuplicated.Add(1)
 			c.nDelivered.Add(1)
+			if tr.On() {
+				tr.Emit(evtrace.EvChDup, sess, src, actor, uint8(rel.layer), uint64(len(rel.pkt)), 0)
+				tr.Emit(evtrace.EvChDeliver, sess, src, actor, uint8(rel.layer), uint64(len(rel.pkt)), 0)
+			}
 			h(rel.layer, rel.pkt)
 		}
 		return
@@ -378,10 +414,17 @@ func (c *BusClient) deliver(layer int, pkt []byte) {
 		return
 	}
 	c.nDelivered.Add(1)
+	if tr.On() {
+		tr.Emit(evtrace.EvChDeliver, sess, src, actor, uint8(layer), uint64(len(out)), 0)
+	}
 	h(layer, out)
 	if dup {
 		c.nDuplicated.Add(1)
 		c.nDelivered.Add(1)
+		if tr.On() {
+			tr.Emit(evtrace.EvChDup, sess, src, actor, uint8(layer), uint64(len(out)), 0)
+			tr.Emit(evtrace.EvChDeliver, sess, src, actor, uint8(layer), uint64(len(out)), 0)
+		}
 		h(layer, out)
 	}
 }

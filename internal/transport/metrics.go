@@ -48,15 +48,17 @@ func (s *UDPServer) RegisterMetrics(r *metrics.Registry) {
 // scrape registry, under a source label so multi-source clients can
 // register each mirror connection distinctly (src < 0 omits the label).
 func (c *UDPClient) RegisterMetrics(r *metrics.Registry, src int) {
-	suffix := ""
-	if src >= 0 {
-		suffix = `{source="` + strconv.Itoa(src) + `"}`
+	name := func(base string) string {
+		if src < 0 {
+			return base
+		}
+		return metrics.Label(base, "source", strconv.Itoa(src))
 	}
-	r.CounterFunc("fountain_udp_rx_packets_total"+suffix,
+	r.CounterFunc(name("fountain_udp_rx_packets_total"),
 		"datagrams taken off the client socket", c.rxPackets.Load)
-	r.CounterFunc("fountain_udp_rx_bytes_total"+suffix,
+	r.CounterFunc(name("fountain_udp_rx_bytes_total"),
 		"bytes taken off the client socket", c.rxBytes.Load)
-	if suffix == "" {
+	if src < 0 {
 		r.AddHistogram("fountain_udp_recv_batch_size",
 			"datagrams per kernel receive visit", c.rxBatch)
 	}
