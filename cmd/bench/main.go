@@ -1,9 +1,11 @@
 // Command bench runs the codec benchmarks that back the paper's Tables 2-3
 // (encode and decode throughput for Tornado A/B and the two Reed-Solomon
-// baselines, plus the rateless LT codec at k = 1000 and 10000) and writes
-// the results as machine-readable JSON, so the performance trajectory can
-// be tracked PR over PR. Decode rows also carry the measured reception
-// overhead (packets needed / k, averaged over fresh reception orders).
+// baselines, plus the rateless LT and raptor codecs at k = 1000 and 10000)
+// and writes the results as machine-readable JSON, so the performance
+// trajectory can be tracked PR over PR. Decode rows also carry the measured
+// reception overhead (packets needed / k, averaged over fresh reception
+// orders), and the rateless rows sit under hard regression gates
+// (checkRatelessGates): overhead or allocation drift fails the run.
 //
 // Usage:
 //
@@ -179,7 +181,7 @@ func main() {
 		rep.Results = append(rep.Results, decRes)
 	}
 
-	// The rateless LT codec, at the ISSUE-4 reference sizes. Throughput is
+	// The rateless codecs, at the ISSUE-4 reference sizes. Throughput is
 	// per k packets' worth of payload so the MB/s figures are comparable
 	// with the fixed-rate rows, and reception overhead is measured over
 	// fresh regions of the unbounded index space.
@@ -190,6 +192,19 @@ func main() {
 			os.Exit(1)
 		}
 		rep.Results = append(rep.Results, res...)
+	}
+	for _, rk := range []int{1000, 10000} {
+		res, err := benchRaptor(rk, ppl)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bench: raptor k=%d: %v\n", rk, err)
+			os.Exit(1)
+		}
+		rep.Results = append(rep.Results, res...)
+	}
+
+	if err := checkRatelessGates(rep.Results); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		os.Exit(1)
 	}
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
@@ -342,6 +357,168 @@ func benchLT(k, pl int) ([]result, error) {
 	}
 	decRes.Overhead = float64(total) / float64(overheadTrials) / float64(k)
 	return []result{encRes, decRes}, nil
+}
+
+// benchRaptor produces the rows of the precoded systematic rateless codec
+// at one k. Three rows, because the code has two distinct decode regimes:
+//
+//   - "decode" is the systematic operating point — a lossless receiver's
+//     intake of the k source packets, zero XOR work, the regime the
+//     digital-fountain deployment sits in whenever loss is low. Its
+//     overhead is exactly 1 by construction.
+//   - "decode-repair" is the worst case — a receiver that joins mid-stream
+//     and sees only repair packets. This row carries the measured
+//     reception-overhead figure the ≤1.03 gate holds.
+//
+// The encode row measures repair-packet production (the systematic prefix
+// aliases the source and costs nothing).
+func benchRaptor(k, pl int) ([]result, error) {
+	codec, err := fountain.NewRaptor(k, pl, 1, 0, 0, 0, 0)
+	if err != nil {
+		return nil, err
+	}
+	ranger := codec.(code.RangeEncoder)
+	src := benchproto.Source(k, pl)
+	budget := k + k/4 + 256
+
+	base := 1 << 27 // repair region: indices >= k
+	encRes := runBench(k*pl, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := ranger.EncodeRange(src, base, base+k); err != nil {
+				b.Fatal(err)
+			}
+			base += k
+		}
+	})
+	encRes.Name, encRes.Op = codec.Name(), "encode"
+	encRes.K, encRes.N, encRes.PacketLen = k, codec.N(), pl
+
+	sysRes := runBench(k*pl, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			// The systematic prefix aliases src — no encode work to keep
+			// off the clock; the decoder copies into its own arena.
+			d := codec.NewDecoder()
+			done := false
+			var err error
+			for j := 0; j < k; j++ {
+				if done, err = d.Add(j, src[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !done {
+				b.Fatalf("raptor k=%d: lossless systematic intake did not complete at k", k)
+			}
+			if _, err := d.Source(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sysRes.Name, sysRes.Op = codec.Name(), "decode"
+	sysRes.K, sysRes.N, sysRes.PacketLen = k, codec.N(), pl
+	sysRes.Overhead = 1 // exactly k packets, asserted above
+
+	decBase := 1 << 28
+	decRes := runBench(k*pl, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			pool, err := ranger.EncodeRange(src, decBase, decBase+budget)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			d := codec.NewDecoder()
+			done := false
+			for j := 0; j < len(pool) && !done; j++ {
+				if done, err = d.Add(decBase+j, pool[j]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if !done {
+				b.Fatalf("raptor k=%d: stream budget %d exhausted", k, budget)
+			}
+			if _, err := d.Source(); err != nil {
+				b.Fatal(err)
+			}
+			decBase += budget
+		}
+	})
+	decRes.Name, decRes.Op = codec.Name(), "decode-repair"
+	decRes.K, decRes.N, decRes.PacketLen = k, codec.N(), pl
+
+	total := 0
+	ovBase := 1 << 30
+	for trial := 0; trial < overheadTrials; trial++ {
+		pool, err := ranger.EncodeRange(src, ovBase, ovBase+budget)
+		if err != nil {
+			return nil, err
+		}
+		d := codec.NewDecoder()
+		done := false
+		for j := 0; j < len(pool) && !done; j++ {
+			total++
+			if done, err = d.Add(ovBase+j, pool[j]); err != nil {
+				return nil, err
+			}
+		}
+		if !done {
+			return nil, fmt.Errorf("stream budget %d exhausted", budget)
+		}
+		ovBase += budget
+	}
+	decRes.Overhead = float64(total) / float64(overheadTrials) / float64(k)
+	return []result{encRes, sysRes, decRes}, nil
+}
+
+// ratelessGate is one hard acceptance bound over a rateless decode row.
+// Overhead regressions and decoder-allocation regressions fail the bench
+// run (and CI's codec-bench step) outright instead of drifting silently
+// into the trajectory file.
+type ratelessGate struct {
+	name, op    string
+	k           int
+	maxOverhead float64
+	maxAllocs   int64
+}
+
+var ratelessGates = []ratelessGate{
+	// LT: belief propagation over the full robust soliton; the arena
+	// decoder holds k=1000 near a hundred allocs/op, and allocations grow
+	// sublinearly in k.
+	{"lt", "decode", 1000, 1.15, 2_000},
+	{"lt", "decode", 10000, 1.15, 8_000},
+	// Raptor: systematic intake is alloc-light and exactly-k by
+	// construction; repair-only decode must stay within 3% overhead.
+	{"raptor", "decode", 1000, 1.0, 2_000},
+	{"raptor", "decode", 10000, 1.0, 8_000},
+	{"raptor", "decode-repair", 1000, 1.03, 4_000},
+	{"raptor", "decode-repair", 10000, 1.03, 16_000},
+}
+
+// checkRatelessGates enforces ratelessGates over the collected rows. A
+// gate whose row is missing is itself a failure — a renamed or dropped
+// benchmark must not pass vacuously.
+func checkRatelessGates(results []result) error {
+	for _, g := range ratelessGates {
+		found := false
+		for _, r := range results {
+			if r.Name != g.name || r.Op != g.op || r.K != g.k {
+				continue
+			}
+			found = true
+			if r.Overhead > g.maxOverhead {
+				return fmt.Errorf("gate %s/%s k=%d: overhead %.4f exceeds %.2f",
+					g.name, g.op, g.k, r.Overhead, g.maxOverhead)
+			}
+			if r.AllocsPerOp > g.maxAllocs {
+				return fmt.Errorf("gate %s/%s k=%d: %d allocs/op exceeds %d",
+					g.name, g.op, g.k, r.AllocsPerOp, g.maxAllocs)
+			}
+		}
+		if !found {
+			return fmt.Errorf("gate %s/%s k=%d matched no benchmark row (vacuous pass)", g.name, g.op, g.k)
+		}
+	}
+	return nil
 }
 
 // runBench wraps testing.Benchmark (which scales iterations to ~1s of

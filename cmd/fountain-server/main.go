@@ -49,9 +49,11 @@ func main() {
 		ctrlAddr = flag.String("control", "127.0.0.1:9001", "control socket address")
 		layers   = flag.Int("layers", 4, "multicast layers")
 		rate     = flag.Int("rate", 2048, "base-layer rate per session, packets/second")
-		codec    = flag.String("codec", "tornado-a", "tornado-a|tornado-b|cauchy|vandermonde|interleaved|lt")
-		ltc      = flag.Float64("lt-c", 0, "LT robust-soliton c (0 = default; -codec lt only)")
-		ltdelta  = flag.Float64("lt-delta", 0, "LT robust-soliton delta (0 = default; -codec lt only)")
+		codec    = flag.String("codec", "tornado-a", "tornado-a|tornado-b|cauchy|vandermonde|interleaved|lt|raptor")
+		ltc      = flag.Float64("lt-c", 0, "soliton c (0 = default; -codec lt or raptor)")
+		ltdelta  = flag.Float64("lt-delta", 0, "soliton delta (0 = default; -codec lt or raptor)")
+		rchecks  = flag.Int("raptor-checks", 0, "raptor precode check count (0 = k-dependent default; -codec raptor only)")
+		rmaxd    = flag.Int("raptor-maxd", 0, "raptor inner-code degree truncation (0 = k-dependent default; -codec raptor only)")
 		pktLen   = flag.Int("pkt", 500, "payload bytes per packet")
 		seed     = flag.Int64("seed", 1998, "graph seed")
 		baseID   = flag.Uint("session", 0xDF98, "session id of the first file (subsequent files increment)")
@@ -169,6 +171,8 @@ func main() {
 		cfg.Session = uint16(*baseID) + uint16(i)
 		cfg.LTC = *ltc
 		cfg.LTDelta = *ltdelta
+		cfg.RaptorChecks = *rchecks
+		cfg.RaptorMaxD = *rmaxd
 		sess, err := svc.AddDataPhased(data, cfg, *rate, *phase)
 		if err != nil {
 			log.Fatal(err)
@@ -181,6 +185,12 @@ func main() {
 		if sess.Rateless() {
 			// A rateless mirror needs no phase coordination, only an
 			// arbitrary distinct stream start; describe the fountain shape.
+			if info.Codec == proto.CodecRaptor {
+				fmt.Printf("fountain-server: session %#x %s (%d bytes, k=%d, rateless raptor s=%d maxd=%d c=%.3g delta=%.3g, stream start %d)\n",
+					cfg.Session, file, len(data), info.K, info.RaptorS, info.RaptorMaxD,
+					float64(info.LTCMicro)/1e6, float64(info.LTDeltaMicro)/1e6, *phase)
+				continue
+			}
 			fmt.Printf("fountain-server: session %#x %s (%d bytes, k=%d, rateless LT c=%.3g delta=%.3g, stream start %d)\n",
 				cfg.Session, file, len(data), info.K,
 				float64(info.LTCMicro)/1e6, float64(info.LTDeltaMicro)/1e6, *phase)
@@ -243,6 +253,8 @@ func codecByName(name string) (uint8, error) {
 		return proto.CodecInterleaved, nil
 	case "lt":
 		return proto.CodecLT, nil
+	case "raptor":
+		return proto.CodecRaptor, nil
 	default:
 		return 0, fmt.Errorf("unknown codec %q", name)
 	}

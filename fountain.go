@@ -14,8 +14,10 @@
 //   - Erasure codecs: Tornado codes (the paper's contribution: XOR-only
 //     sparse-graph codes with a few percent reception overhead and
 //     near-linear coding time), Reed-Solomon baselines (Vandermonde and
-//     Cauchy), interleaved block codes, and a rateless LT code (the true
-//     unbounded fountain the fixed-rate codes approximate — see NewLT).
+//     Cauchy), interleaved block codes, a rateless LT code (the true
+//     unbounded fountain the fixed-rate codes approximate — see NewLT),
+//     and a precoded systematic raptor code whose first k packets are the
+//     source itself (see NewRaptor).
 //   - Sessions: a file bound to a codec and a carousel/layered schedule.
 //   - Server and Client engines speaking the prototype's wire protocol
 //     (12-byte headers, SP/burst markers, layered congestion control)
@@ -34,6 +36,7 @@ import (
 	"repro/internal/interleave"
 	"repro/internal/lt"
 	"repro/internal/proto"
+	"repro/internal/raptor"
 	"repro/internal/rs"
 	"repro/internal/server"
 	"repro/internal/service"
@@ -105,6 +108,19 @@ func NewLT(k, packetLen int, seed int64, c, delta float64) (Codec, error) {
 	return lt.New(k, packetLen, seed, c, delta)
 }
 
+// NewRaptor constructs the precoded systematic rateless codec: a sparse
+// Tornado-style precode stretches the k source packets to k+checks
+// intermediate symbols, and a weakened truncated-soliton LT code emits over
+// the intermediates. The first k encoding packets ARE the source packets —
+// a lossless receiver stores k packets verbatim and performs zero XOR work
+// — and the precode's check equations are free rank, so decode cost stays
+// linear and reception overhead a couple of percent. c/delta tune the
+// inner distribution, checks/maxD the precode size and degree truncation
+// (<= 0 everywhere selects k-dependent defaults).
+func NewRaptor(k, packetLen int, seed int64, c, delta float64, checks, maxD int) (Codec, error) {
+	return raptor.New(k, packetLen, seed, c, delta, checks, maxD)
+}
+
 // IsRateless reports whether a codec's index space is unbounded (its N()
 // is RatelessN and every packet is derivable independently by index).
 func IsRateless(c Codec) bool { return code.IsRateless(c) }
@@ -130,6 +146,7 @@ const (
 	CodecCauchy      = proto.CodecCauchy
 	CodecInterleaved = proto.CodecInterleaved
 	CodecLT          = proto.CodecLT
+	CodecRaptor      = proto.CodecRaptor
 )
 
 // DefaultConfig mirrors the paper's prototype: Tornado A, 500-byte

@@ -81,6 +81,7 @@ type Engine struct {
 	tr        *evtrace.Shard
 	trActor   uint16
 	traceDone bool // EvDone emitted (once, at the done transition)
+	relSeen   int  // decoder release count already traced (EvRelease deltas)
 }
 
 // maxTrackedMissing bounds the per-(source, layer) window of refundable
@@ -344,6 +345,17 @@ func (e *Engine) HandlePacketFrom(src int, pkt []byte) (done bool, err error) {
 		}
 	} else {
 		s.duplicate.Add(1)
+	}
+	if e.tr.On() {
+		// Decoders that count symbol-release XOR work get it surfaced per
+		// packet: the delta since the last traced count. A systematic codec
+		// on a lossless channel emits no EvRelease at all — the property the
+		// zero-XOR differential tests assert through the trace.
+		if rel := e.rcv.Released(); rel > e.relSeen {
+			e.tr.Emit(evtrace.EvRelease, e.info.Session, uint16(src), e.trActor, h.Group,
+				uint64(h.Index), uint64(rel-e.relSeen))
+			e.relSeen = rel
+		}
 	}
 	if done && !e.traceDone && e.tr.On() {
 		e.traceDone = true

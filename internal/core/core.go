@@ -22,6 +22,7 @@ import (
 	"repro/internal/interleave"
 	"repro/internal/lt"
 	"repro/internal/proto"
+	"repro/internal/raptor"
 	"repro/internal/rs"
 	"repro/internal/sched"
 	"repro/internal/tornado"
@@ -47,9 +48,17 @@ type Config struct {
 	// quantized to millionths for the wire, and the session builds its
 	// codec from the quantized values so sender and receivers derive the
 	// identical distribution. Stretch is ignored for CodecLT — a rateless
-	// code has no stretch factor.
+	// code has no stretch factor. For CodecRaptor they tune the weakened
+	// inner distribution instead (<= 0 selects the raptor defaults).
 	LTC     float64
 	LTDelta float64
+	// RaptorChecks and RaptorMaxD pin a CodecRaptor session's precode
+	// check count and inner-code degree truncation (<= 0 selects the
+	// raptor package's k-dependent defaults). The resolved values travel
+	// in the descriptor, so receivers rebuild the identical code without
+	// re-deriving the defaults. Stretch is ignored, as for CodecLT.
+	RaptorChecks int
+	RaptorMaxD   int
 }
 
 // DefaultConfig mirrors the prototype in §7.3: Tornado A, 500-byte
@@ -134,6 +143,10 @@ func buildCodec(cfg Config, k int) (code.Codec, error) {
 	case proto.CodecLT:
 		cMicro, dMicro := ltWireParams(cfg)
 		return lt.New(k, cfg.PacketLen, cfg.Seed, float64(cMicro)/1e6, float64(dMicro)/1e6)
+	case proto.CodecRaptor:
+		cMicro, dMicro := raptorWireParams(cfg)
+		return raptor.New(k, cfg.PacketLen, cfg.Seed, float64(cMicro)/1e6, float64(dMicro)/1e6,
+			cfg.RaptorChecks, cfg.RaptorMaxD)
 	default:
 		return nil, fmt.Errorf("core: unknown codec %d", cfg.Codec)
 	}
@@ -150,6 +163,20 @@ func ltWireParams(cfg Config) (cMicro, deltaMicro uint32) {
 	}
 	if d <= 0 || d >= 1 {
 		d = lt.DefaultDelta
+	}
+	return uint32(math.Round(c * 1e6)), uint32(math.Round(d * 1e6))
+}
+
+// raptorWireParams is ltWireParams with the raptor package's (c, δ)
+// defaults — the weakened inner distribution runs a smaller spike than a
+// plain LT code.
+func raptorWireParams(cfg Config) (cMicro, deltaMicro uint32) {
+	c, d := cfg.LTC, cfg.LTDelta
+	if c <= 0 {
+		c = raptor.DefaultC
+	}
+	if d <= 0 || d >= 1 {
+		d = raptor.DefaultDelta
 	}
 	return uint32(math.Round(c * 1e6)), uint32(math.Round(d * 1e6))
 }
@@ -179,7 +206,7 @@ func NewSession(data []byte, cfg Config) (*Session, error) {
 // A nil cache, or a codec that does not implement code.RangeEncoder,
 // degrades to eager encoding (full materialization at construction).
 func NewSessionCached(data []byte, cfg Config, cache *BlockCache) (*Session, error) {
-	if cfg.Stretch < 2 && cfg.Codec != proto.CodecLT {
+	if cfg.Stretch < 2 && cfg.Codec != proto.CodecLT && cfg.Codec != proto.CodecRaptor {
 		return nil, fmt.Errorf("core: stretch %d < 2", cfg.Stretch)
 	}
 	if cfg.Layers < 1 || cfg.Layers > 16 {
@@ -376,6 +403,14 @@ func (s *Session) Info() proto.SessionInfo {
 	if s.cfg.Codec == proto.CodecLT {
 		info.LTCMicro, info.LTDeltaMicro = ltWireParams(s.cfg)
 	}
+	if s.cfg.Codec == proto.CodecRaptor {
+		info.LTCMicro, info.LTDeltaMicro = raptorWireParams(s.cfg)
+		// Publish the resolved precode geometry, not the config's zeros:
+		// receivers must not re-derive defaults that could drift.
+		rc := s.codec.(*raptor.Codec)
+		info.RaptorS = uint32(rc.Checks())
+		info.RaptorMaxD = uint32(rc.MaxDegree())
+	}
 	return info
 }
 
@@ -507,6 +542,8 @@ func NewReceiver(info proto.SessionInfo) (*Receiver, error) {
 		InterleaveBlockK: int(info.InterleaveK),
 		LTC:              float64(info.LTCMicro) / 1e6,
 		LTDelta:          float64(info.LTDeltaMicro) / 1e6,
+		RaptorChecks:     int(info.RaptorS),
+		RaptorMaxD:       int(info.RaptorMaxD),
 	}
 	codec, err := buildCodec(cfg, int(info.K))
 	if err != nil {
@@ -580,6 +617,17 @@ func (r *Receiver) File() ([]byte, error) {
 	}
 	r.fileBuf = data
 	return data, nil
+}
+
+// Released returns the decoder's symbol-release XOR count, or -1 when the
+// decoder does not count releases (code.ReleaseCounter). A systematic
+// rateless session on a lossless channel reports 0: every packet was
+// stored verbatim, no decode work happened at all.
+func (r *Receiver) Released() int {
+	if rc, ok := r.dec.(code.ReleaseCounter); ok {
+		return rc.Released()
+	}
+	return -1
 }
 
 // Stats returns (total received, distinct, k) for efficiency computation.

@@ -80,6 +80,12 @@ const (
 	// EvDone: the session's decode completed at this receiver. A = total
 	// packets accepted, B = k<<32 | distinct.
 	EvDone
+	// EvRelease: the decoder performed symbol-release XOR work while
+	// ingesting a packet (only emitted for decoders that count it —
+	// code.ReleaseCounter). A = encoding index of the triggering packet,
+	// B = release operations performed during its ingestion. A systematic
+	// codec on a lossless channel emits none of these.
+	EvRelease
 )
 
 // typeNames is indexed by Type for exporters and the analyzer.
@@ -97,6 +103,7 @@ var typeNames = [...]string{
 	EvIntakeDrop:    "intake_drop",
 	EvSymbol:        "symbol",
 	EvDone:          "done",
+	EvRelease:       "release",
 }
 
 // String names the type for human-facing output.

@@ -1,0 +1,178 @@
+package harness
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/evtrace"
+	"repro/internal/netsim"
+	"repro/internal/proto"
+)
+
+func raptorSessionConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.Codec = proto.CodecRaptor
+	cfg.Layers = 1
+	cfg.PacketLen = 16
+	cfg.Session = 0x12A7
+	cfg.Seed = 77
+	return cfg
+}
+
+// raptorMirrorRun executes the uncoordinated-mirrors scenario once and
+// returns its observables: the reconstructed file, the reception counters,
+// and the decode round count. The scenario is fully seeded, so two calls
+// must produce identical values — the bit-determinism half of the
+// acceptance bar.
+func raptorMirrorRun(t *testing.T, data []byte) (file []byte, total, distinct, dups, rounds int) {
+	t.Helper()
+	lossRates := []float64{0.10, 0.15, 0.20}
+	tb, err := New(Config{
+		Mirrors: 3,
+		Data:    data,
+		Session: raptorSessionConfig(),
+		Rate:    100,
+		// Phases nil: rateless sessions get uncoordinated pseudorandom
+		// starts — with this seed all three land deep in the repair
+		// region, millions of indices apart.
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	if !tb.sess.Rateless() {
+		t.Fatal("session should be rateless")
+	}
+	r, err := tb.AddReceiver(0, func(mirror, layer int) netsim.LossProcess {
+		return &netsim.Bernoulli{P: lossRates[mirror], Rng: netsim.ReceiverRNG(41, mirror)}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(30_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Done() {
+		t.Fatal("receiver never decoded")
+	}
+	file, err = r.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, distinct, _ = r.Engine.Stats()
+	for _, src := range r.Engine.Sources() {
+		st := r.Engine.SourceStats(src)
+		dups += st.Duplicate
+		t.Logf("mirror %d: recv=%d distinct=%d dup=%d loss=%.1f%%",
+			src, st.Received, st.Distinct, st.Duplicate, 100*st.Loss)
+	}
+	return file, total, distinct, dups, r.RoundsToDecode()
+}
+
+// TestRaptorUnstaggeredMirrors is the raptor acceptance scenario: three
+// mirrors of one precoded systematic session, each starting at an
+// arbitrary uncoordinated stream position (no phase trick, no knowledge of
+// the mirror count), 10-20% injected loss per path, k = 10000. Every
+// mirror draws from a disjoint region of the unbounded repair space, so
+// the receiver aggregates pure fresh rank. Acceptance bars: reception
+// overhead ≤ 1.03·k, exactly zero duplicates among consumed packets, and
+// a bit-deterministic outcome — the file matches the source and a repeated
+// run reproduces every counter exactly.
+func TestRaptorUnstaggeredMirrors(t *testing.T) {
+	data := testData(3, 160_000) // k = 160000/16 = 10000 source packets
+
+	got, total, distinct, dups, rounds := raptorMirrorRun(t, data)
+	if !bytes.Equal(got, data) {
+		t.Fatal("reconstructed file differs")
+	}
+	k := 10000
+	overhead := float64(total) / float64(k)
+	t.Logf("k=%d total=%d distinct=%d overhead=%.4f dups=%d rounds=%d",
+		k, total, distinct, overhead, dups, rounds)
+	if overhead > 1.03 {
+		t.Fatalf("reception overhead %.4f exceeds 1.03", overhead)
+	}
+	if dups != 0 {
+		t.Fatalf("%d duplicates consumed, want exactly 0 (disjoint repair regions)", dups)
+	}
+
+	got2, total2, distinct2, dups2, rounds2 := raptorMirrorRun(t, data)
+	if !bytes.Equal(got2, got) {
+		t.Fatal("repeated run reconstructed different bytes")
+	}
+	if total2 != total || distinct2 != distinct || dups2 != dups || rounds2 != rounds {
+		t.Fatalf("repeated run diverged: total %d/%d distinct %d/%d dups %d/%d rounds %d/%d",
+			total, total2, distinct, distinct2, dups, dups2, rounds, rounds2)
+	}
+}
+
+// TestRaptorZeroLossZeroXORTraced is the systematic differential scenario:
+// one mirror started at stream position 0 over a lossless channel delivers
+// the k source packets verbatim. The receiver must reconstruct the file
+// bit-identically from exactly k packets while performing zero
+// symbol-release XOR work — pinned through the flight recorder: the trace
+// carries k EvSymbol events and not a single EvRelease.
+func TestRaptorZeroLossZeroXORTraced(t *testing.T) {
+	cfg := raptorSessionConfig()
+	cfg.Session = 0x12A8
+	data := testData(5, 48_000) // k = 3000
+
+	rec := evtrace.New(evtrace.Config{Shards: 1, ShardSize: 1 << 16})
+	rec.Enable()
+	tb, err := New(Config{
+		Mirrors: 1,
+		Data:    data,
+		Session: cfg,
+		Rate:    100,
+		Phases:  []int{0}, // systematic start: indices 0,1,2,...
+		Trace:   rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tb.Close()
+	r, err := tb.AddReceiver(0, nil) // lossless
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Run(10_000); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if !r.Done() {
+		t.Fatal("receiver never decoded")
+	}
+	got, err := r.File()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("reconstructed file differs")
+	}
+	total, distinct, k := r.Engine.Stats()
+	if total != k || distinct != k {
+		t.Fatalf("lossless systematic intake total=%d distinct=%d, want exactly k=%d", total, distinct, k)
+	}
+
+	symbols, releases := 0, 0
+	for _, ev := range rec.Snapshot() {
+		switch ev.Type {
+		case evtrace.EvSymbol:
+			symbols++
+		case evtrace.EvRelease:
+			releases++
+		}
+	}
+	if symbols != k {
+		t.Fatalf("trace carries %d EvSymbol events, want k=%d (was the recorder attached?)", symbols, k)
+	}
+	if releases != 0 {
+		t.Fatalf("trace carries %d EvRelease events, want 0: a lossless systematic decode must do no XOR work", releases)
+	}
+}

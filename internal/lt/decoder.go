@@ -28,11 +28,15 @@ type decoder struct {
 
 	values   [][]byte // per source symbol; nil while unresolved
 	resolved int
-	waiters  [][]int32 // symbol -> ids of buffered packets covering it
-	pkts     []pkt
-	seen     map[uint32]struct{} // distinct accepted indices
-	relq     []int32             // packet ids whose remaining just hit 1
-	active   int                 // buffered packets with remaining > 0
+	// Waiter lists (symbol -> ids of buffered packets covering it) as
+	// linked nodes in one growable arena: registration is an append plus
+	// a head swap, never a per-symbol allocation.
+	whead  []int32 // per symbol: index into wnodes, -1 = empty
+	wnodes []wnode
+	pkts   []pkt
+	seen   map[uint32]struct{} // distinct accepted indices
+	relq   []int32             // packet ids whose remaining just hit 1
+	active int                 // buffered packets with remaining > 0
 
 	// Elimination gating: after a failed fallback at rank r with u
 	// unresolved symbols, at least u-r more independent equations are
@@ -40,18 +44,38 @@ type decoder struct {
 	// not retried on every packet.
 	needMore int
 
-	nbuf []int // shared neighbor scratch
-	done bool
+	nbuf     []int // shared neighbor scratch
+	done     bool
+	released int // symbol-release XOR operations (code.ReleaseCounter)
+
+	// Slab arena + free list for payload buffers: the steady-state intake
+	// path allocates O(1) slabs per 16 packets instead of one buffer per
+	// packet (the Tornado decoder's allocation shape).
+	slab []byte
+	free [][]byte
+}
+
+// wnode is one waiter registration: packet id, plus the next node on the
+// same symbol's list.
+type wnode struct {
+	id   int32
+	next int32
 }
 
 // NewDecoder implements code.Codec.
 func (c *Codec) NewDecoder() code.Decoder {
-	return &decoder{
-		c:       c,
-		values:  make([][]byte, c.k),
-		waiters: make([][]int32, c.k),
-		seen:    make(map[uint32]struct{}, c.k+c.k/8),
+	d := &decoder{
+		c:      c,
+		values: make([][]byte, c.k),
+		whead:  make([]int32, c.k),
+		wnodes: make([]wnode, 0, 2*c.k),
+		pkts:   make([]pkt, 0, c.k/2+16),
+		seen:   make(map[uint32]struct{}, c.k+c.k/8),
 	}
+	for s := range d.whead {
+		d.whead[s] = -1
+	}
+	return d
 }
 
 // Add implements code.Decoder.
@@ -84,7 +108,8 @@ func (d *decoder) Add(i int, data []byte) (bool, error) {
 	case 1:
 		// Immediately releasable: XOR the resolved neighbors out and the
 		// remaining symbol's value is exposed.
-		val := make([]byte, len(data))
+		d.released++
+		val := d.alloc()
 		copy(val, data)
 		for _, nb := range d.nbuf {
 			if v := d.values[nb]; v != nil {
@@ -95,13 +120,13 @@ func (d *decoder) Add(i int, data []byte) (bool, error) {
 		d.drainRipple()
 	default:
 		id := int32(len(d.pkts))
-		buf := make([]byte, len(data))
+		buf := d.alloc()
 		copy(buf, data)
 		d.pkts = append(d.pkts, pkt{index: index, data: buf, remaining: int32(unresolved)})
 		d.active++
 		for _, nb := range d.nbuf {
 			if d.values[nb] == nil {
-				d.waiters[nb] = append(d.waiters[nb], id)
+				d.addWaiter(nb, id)
 			}
 		}
 	}
@@ -126,7 +151,8 @@ func (d *decoder) resolve(s int, val []byte) {
 		d.finish()
 		return
 	}
-	for _, id := range d.waiters[s] {
+	for nid := d.whead[s]; nid >= 0; nid = d.wnodes[nid].next {
+		id := d.wnodes[nid].id
 		p := &d.pkts[id]
 		if p.remaining > 0 {
 			p.remaining--
@@ -136,12 +162,13 @@ func (d *decoder) resolve(s int, val []byte) {
 			case 0:
 				// Was already queued for release with this as its last
 				// unresolved symbol; now fully covered, hence redundant.
+				d.freeBuf(p.data)
 				p.data = nil
 				d.active--
 			}
 		}
 	}
-	d.waiters[s] = nil
+	d.whead[s] = -1 // nodes stay in the arena; freed wholesale at finish
 }
 
 // drainRipple releases queued packets until the ripple is empty or the
@@ -156,6 +183,7 @@ func (d *decoder) drainRipple() {
 		if p.remaining != 1 {
 			continue // raced to 0: became redundant while queued
 		}
+		d.released++
 		d.nbuf = d.c.NeighborsInto(p.index, d.nbuf)
 		val := p.data
 		target := -1
@@ -237,6 +265,7 @@ func (d *decoder) tryEliminate() {
 	for ci, s := range syms {
 		d.values[s] = sol[ci]
 	}
+	d.released += cols // each solved column is one exposed symbol
 	d.resolved = d.c.k
 	d.finish()
 }
@@ -246,7 +275,44 @@ func (d *decoder) finish() {
 	d.done = true
 	d.pkts = nil
 	d.relq = nil
-	d.waiters = nil
+	d.whead = nil
+	d.wnodes = nil
+	d.slab = nil
+	d.free = nil
+}
+
+// alloc hands out one packet buffer from the slab arena (contents
+// arbitrary — callers copy over the full length).
+func (d *decoder) alloc() []byte {
+	if n := len(d.free); n > 0 {
+		b := d.free[n-1]
+		d.free = d.free[:n-1]
+		return b
+	}
+	pl := d.c.packetLen
+	if len(d.slab) < pl {
+		n := 16 * pl
+		if n < 16384 {
+			n = 16384
+		}
+		d.slab = make([]byte, n)
+	}
+	b := d.slab[:pl:pl]
+	d.slab = d.slab[pl:]
+	return b
+}
+
+func (d *decoder) freeBuf(b []byte) {
+	if b != nil {
+		d.free = append(d.free, b)
+	}
+}
+
+// addWaiter registers packet id on symbol s: one arena append, one head
+// swap.
+func (d *decoder) addWaiter(s int, id int32) {
+	d.wnodes = append(d.wnodes, wnode{id: id, next: d.whead[s]})
+	d.whead[s] = int32(len(d.wnodes) - 1)
 }
 
 // Done implements code.Decoder.
@@ -254,6 +320,12 @@ func (d *decoder) Done() bool { return d.done }
 
 // Received implements code.Decoder: distinct accepted packets.
 func (d *decoder) Received() int { return len(d.seen) }
+
+// Released implements code.ReleaseCounter: symbol-release XOR operations
+// performed so far. An LT code is never systematic, so every recovered
+// symbol costs at least one release — the counter is nonzero for any
+// completed decode (contrast the raptor decoder at zero loss).
+func (d *decoder) Released() int { return d.released }
 
 // Source implements code.Decoder.
 func (d *decoder) Source() ([][]byte, error) {

@@ -204,10 +204,12 @@ func (c *Codec) NeighborsInto(index uint32, buf []int) []int {
 		return buf
 	}
 	// Rejection sampling keeps the draw sequence identical regardless of
-	// how duplicates are detected: a linear scan for the common small
-	// degrees, a set once quadratic scanning would bite.
+	// how duplicates are detected: a linear scan for the common degrees
+	// (including the robust-soliton spike, which would otherwise allocate
+	// a map on a meaningful fraction of packets), a set once quadratic
+	// scanning would genuinely bite.
 	var dup map[int]struct{}
-	if d > 32 {
+	if d > 256 {
 		dup = make(map[int]struct{}, d)
 	}
 	for len(buf) < d {

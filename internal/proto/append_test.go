@@ -11,7 +11,7 @@ import (
 func randInfo(rng *rand.Rand) SessionInfo {
 	return SessionInfo{
 		Session:      uint16(rng.Uint32()),
-		Codec:        uint8(rng.Intn(6)),
+		Codec:        uint8(rng.Intn(7)),
 		Layers:       uint8(1 + rng.Intn(16)),
 		K:            rng.Uint32(),
 		N:            rng.Uint32(),
@@ -25,6 +25,8 @@ func randInfo(rng *rand.Rand) SessionInfo {
 		Phase:        rng.Uint32(),
 		LTCMicro:     rng.Uint32(),
 		LTDeltaMicro: rng.Uint32(),
+		RaptorS:      rng.Uint32(),
+		RaptorMaxD:   rng.Uint32(),
 	}
 }
 

@@ -149,10 +149,18 @@ type SessionInfo struct {
 	// the unbounded index space makes coordination unnecessary.
 	Phase uint32
 	// LTCMicro / LTDeltaMicro carry the robust-soliton parameters of a
-	// CodecLT session in millionths (c, δ quantized so both sides of the
-	// wire derive the identical degree distribution). Zero otherwise.
+	// CodecLT or CodecRaptor session in millionths (c, δ quantized so both
+	// sides of the wire derive the identical degree distribution). Zero
+	// otherwise.
 	LTCMicro     uint32
 	LTDeltaMicro uint32
+	// RaptorS / RaptorMaxD carry a CodecRaptor session's precode check
+	// count and inner-code degree truncation. Together with Seed and the
+	// (c, δ) micros above they pin the entire code — precode graph, degree
+	// CDF, neighbor draws — so both sides derive identical symbols. Zero
+	// for every other codec.
+	RaptorS    uint32
+	RaptorMaxD uint32
 	// Digest is the SHA-256 of the published file. A receiver verifies its
 	// reassembled download against it, so a completed transfer is provably
 	// the published bytes even if every hop in between was hostile (the
@@ -173,6 +181,11 @@ const (
 	// sentinel (code.UnboundedN, 2^31-1) and the carousel streams fresh
 	// indices forever instead of cycling.
 	CodecLT
+	// CodecRaptor is the precoded systematic rateless code: like CodecLT
+	// the index space is unbounded, but the first K encoding packets ARE
+	// the source packets and repair packets are inner-coded over the
+	// precode's intermediate symbols (RaptorS, RaptorMaxD below).
+	CodecRaptor
 )
 
 // Control message types.
@@ -188,7 +201,7 @@ const (
 	controlMag1         = 0x98 // 1998
 )
 
-const sessionInfoLen = 2 + 2 + 1 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 8 + 4 + 4 + 4 + 4 + 32 // magic+type .. lt params, digest
+const sessionInfoLen = 2 + 2 + 1 + 1 + 1 + 4 + 4 + 4 + 8 + 8 + 4 + 4 + 8 + 4 + 4 + 4 + 4 + 4 + 4 + 32 // magic+type .. lt params, raptor params, digest
 
 // The control encoders come in two forms: Append* appends the encoding to
 // a caller-provided buffer (the zero-copy path — pooled buffers, no
@@ -353,6 +366,10 @@ func (s SessionInfo) Append(dst []byte) []byte {
 	dst = append(dst, tmp[:4]...)
 	binary.BigEndian.PutUint32(tmp[:4], s.LTDeltaMicro)
 	dst = append(dst, tmp[:4]...)
+	binary.BigEndian.PutUint32(tmp[:4], s.RaptorS)
+	dst = append(dst, tmp[:4]...)
+	binary.BigEndian.PutUint32(tmp[:4], s.RaptorMaxD)
+	dst = append(dst, tmp[:4]...)
 	dst = append(dst, s.Digest[:]...)
 	return dst
 }
@@ -387,7 +404,9 @@ func ParseSessionInfo(buf []byte) (SessionInfo, error) {
 	s.Phase = binary.BigEndian.Uint32(buf[55:59])
 	s.LTCMicro = binary.BigEndian.Uint32(buf[59:63])
 	s.LTDeltaMicro = binary.BigEndian.Uint32(buf[63:67])
-	copy(s.Digest[:], buf[67:99])
+	s.RaptorS = binary.BigEndian.Uint32(buf[67:71])
+	s.RaptorMaxD = binary.BigEndian.Uint32(buf[71:75])
+	copy(s.Digest[:], buf[75:107])
 	return s, nil
 }
 

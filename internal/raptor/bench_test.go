@@ -1,0 +1,82 @@
+package raptor
+
+import "testing"
+
+// Repair-only decode throughput — the same shape cmd/bench measures, kept
+// here so `go test -bench` can profile the decoder without the full suite.
+func benchmarkDecode(b *testing.B, k, pl int) {
+	c := mustNew(b, k, pl, 1)
+	src := testSrc(b, k, pl, 2)
+	budget := k + k/4 + 256
+	base := 1 << 28
+	b.SetBytes(int64(k * pl))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		pool, err := c.EncodeRange(src, base, base+budget)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		d := c.NewDecoder()
+		done := false
+		for j := 0; j < len(pool) && !done; j++ {
+			if done, err = d.Add(base+j, pool[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !done {
+			b.Fatalf("budget %d exhausted", budget)
+		}
+		if _, err := d.Source(); err != nil {
+			b.Fatal(err)
+		}
+		base += budget
+	}
+}
+
+func BenchmarkDecodeK1000(b *testing.B)  { benchmarkDecode(b, 1000, 1024) }
+func BenchmarkDecodeK10000(b *testing.B) { benchmarkDecode(b, 10000, 1024) }
+
+// Systematic zero-loss intake: the path that must do no XOR work at all.
+func BenchmarkDecodeSystematic(b *testing.B) {
+	const k, pl = 10000, 1024
+	c := mustNew(b, k, pl, 1)
+	src := testSrc(b, k, pl, 2)
+	enc, err := c.EncodeRange(src, 0, k)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(k * pl))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := c.NewDecoder()
+		done := false
+		for j := 0; j < k; j++ {
+			if done, err = d.Add(j, enc[j]); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if !done {
+			b.Fatal("not done after k systematic packets")
+		}
+	}
+}
+
+func BenchmarkEncodeRepair(b *testing.B) {
+	const k, pl = 10000, 1024
+	c := mustNew(b, k, pl, 1)
+	src := testSrc(b, k, pl, 2)
+	base := 1 << 28
+	b.SetBytes(int64(k * pl))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.EncodeRange(src, base, base+k); err != nil {
+			b.Fatal(err)
+		}
+		base += k
+	}
+}

@@ -1,0 +1,615 @@
+// Raptor decoding: joint belief-propagation peeling over the L = k+s
+// intermediate symbols, where the equation set is the union of
+//
+//   - the s *static* precode equations 0 = value(k+j) ⊕ ⊕ sources(j),
+//     known to the decoder by construction and present from packet zero
+//     (their "payload" is the implicit all-zero packet — never allocated,
+//     never transmitted), and
+//   - the received coded packets (systematic packets resolve their
+//     intermediate directly; repair packets are inner-code equations).
+//
+// Static equations are free rank: a receiver needs only ≈k received
+// symbols regardless of s, because the s check symbols come with their
+// own defining equations. They are also why the weakened (truncated)
+// inner distribution decodes at all — the residue it strands is exactly
+// what the precode peels.
+//
+// Two mechanisms keep the hot path linear and the lossless path free:
+//
+// Parking. An equation whose single unknown is a *check* symbol that no
+// other live equation wants is parked, not released: releasing it would
+// spend check-degree XORs computing a value nobody reads. At zero loss
+// every static equation ends parked on its own check symbol, so a
+// receiver of the k systematic packets performs exactly zero XOR work.
+// A parked equation is revived the moment a new packet registers as a
+// waiter on its check symbol.
+//
+// Elimination endgame. When peeling stalls with a small residue, a
+// reduced GF(2) system is solved over the unresolved sources plus only
+// those check symbols some live received equation references — a check
+// symbol appearing solely in its own static equation is a free variable,
+// so that row and column drop together. The rank-deficit gate (needMore)
+// bounds attempts, exactly as in the LT and Tornado decoders.
+package raptor
+
+import (
+	"fmt"
+
+	"repro/internal/bitmat"
+	"repro/internal/code"
+	"repro/internal/gf"
+)
+
+// eq is one decoding equation. Ids [0, s) are the static precode
+// equations (data == nil: the implicit zero payload); received repair
+// packets append after. data holds the raw payload as received; resolved
+// neighbors are XORed out lazily at release time.
+type eq struct {
+	index     uint32 // wire index (received equations only)
+	data      []byte // arena-backed payload; nil for static equations
+	remaining int32  // unresolved neighbors; 0 = retired
+}
+
+type decoder struct {
+	c *Codec
+
+	values   [][]byte // per intermediate symbol; nil while unresolved
+	srcLeft  int      // unresolved source symbols (done when 0)
+	resolved int      // resolved intermediates (sources + checks)
+	eqs      []eq     // [0,s) static, then received
+	// Waiter lists (intermediate -> ids of buffered equations covering
+	// it) as linked nodes in one growable arena — registration never
+	// allocates per symbol.
+	whead    []int32 // per intermediate: index into wnodes, -1 = empty
+	wnodes   []wnode
+	relq     []int32
+	active   int                 // equations with remaining > 0
+	parked   []int32             // per check j: 1+id of an equation parked on k+j, 0 if none
+	seen     map[uint32]struct{} // distinct accepted wire indices
+	needMore int                 // rank-deficit gate for the elimination endgame
+
+	released int // coded-equation releases: the deferred-XOR events
+	xors     int // payload XORSlice calls on the peeling path
+
+	nbuf []int
+	done bool
+
+	// Slab arena + free list for payload buffers: the allocation-shape
+	// fix the LT decoder gets in this PR, here from day one.
+	slab []byte
+	free [][]byte
+}
+
+// wnode is one waiter registration: equation id, plus the next node on
+// the same intermediate's list.
+type wnode struct {
+	id   int32
+	next int32
+}
+
+// NewDecoder implements code.Codec. The static equations are live
+// immediately; a zero-source check (possible on tiny precodes) starts
+// releasable and is parked on first drain.
+func (c *Codec) NewDecoder() code.Decoder {
+	d := &decoder{
+		c:      c,
+		values: make([][]byte, c.l),
+		whead:  make([]int32, c.l),
+		wnodes: make([]wnode, 0, 2*c.k),
+		eqs:    make([]eq, c.s, c.s+c.k/2+16),
+		parked: make([]int32, c.s),
+		seen:   make(map[uint32]struct{}, c.k+c.k/8),
+	}
+	for v := range d.whead {
+		d.whead[v] = -1
+	}
+	for j := 0; j < c.s; j++ {
+		d.eqs[j].remaining = c.staticDeg[j]
+		if d.eqs[j].remaining == 1 {
+			d.relq = append(d.relq, int32(j))
+		}
+	}
+	d.active = c.s
+	d.srcLeft = c.k
+	return d
+}
+
+// Add implements code.Decoder.
+func (d *decoder) Add(i int, data []byte) (bool, error) {
+	if err := code.CheckPacket(i, data, code.UnboundedN, d.c.packetLen); err != nil {
+		return d.done, err
+	}
+	if d.done {
+		return true, nil
+	}
+	index := uint32(i)
+	if _, dup := d.seen[index]; dup {
+		return false, nil
+	}
+	d.seen[index] = struct{}{}
+	resBefore := d.resolved
+	contributed := false
+	if i < d.c.k {
+		// Systematic packet: the payload IS intermediate i. No XOR, no
+		// equation bookkeeping beyond the resolve ripple.
+		if d.values[i] == nil {
+			buf := d.alloc()
+			copy(buf, data)
+			contributed = true
+			d.resolve(i, buf)
+			d.drainRipple()
+		}
+	} else {
+		d.nbuf = d.c.NeighborsInto(index, d.nbuf)
+		unresolved := 0
+		last := -1
+		for _, nb := range d.nbuf {
+			if d.values[nb] == nil {
+				unresolved++
+				last = nb
+			}
+		}
+		switch unresolved {
+		case 0:
+			// Redundant at arrival: adds no equation, must not pay down a
+			// pending elimination deficit.
+		case 1:
+			// Immediately releasable.
+			buf := d.alloc()
+			copy(buf, data)
+			for _, nb := range d.nbuf {
+				if v := d.values[nb]; v != nil {
+					gf.XORSlice(buf, v)
+					d.xors++
+				}
+			}
+			d.released++
+			contributed = true
+			d.resolve(last, buf)
+			d.drainRipple()
+		default:
+			id := int32(len(d.eqs))
+			buf := d.alloc()
+			copy(buf, data)
+			d.eqs = append(d.eqs, eq{index: index, data: buf, remaining: int32(unresolved)})
+			d.active++
+			contributed = true
+			for _, nb := range d.nbuf {
+				if d.values[nb] != nil {
+					continue
+				}
+				d.addWaiter(nb, id)
+				if nb >= d.c.k {
+					// A new customer for this check symbol: revive any
+					// equation parked on it.
+					if p := d.parked[nb-d.c.k]; p != 0 {
+						d.parked[nb-d.c.k] = 0
+						d.relq = append(d.relq, p-1)
+					}
+				}
+			}
+			d.drainRipple()
+		}
+	}
+	// Pay down the elimination rank-deficit gate by actual progress: a
+	// contributing equation adds prospective rank, and every symbol
+	// resolved since the packet arrived removes a column from the residual
+	// system. Counting contributions alone (the LT rule, where packets
+	// never resolve symbols directly) would lock the endgame out for the
+	// whole systematic prefix of a lossy stream.
+	if d.needMore > 0 {
+		progress := d.resolved - resBefore
+		if contributed {
+			progress++
+		}
+		if d.needMore -= progress; d.needMore < 0 {
+			d.needMore = 0
+		}
+	}
+	if !d.done {
+		// Attempt the endgame only when peeling has actually stalled: an
+		// Add that resolved nothing. While the ripple is alive, building
+		// the residual system would be pure waste — near the active ≈
+		// srcLeft boundary it is both large and rank-deficient, and each
+		// failed build costs a full rhs reduction.
+		d.tryEliminate(d.resolved == resBefore)
+	}
+	return d.done, nil
+}
+
+// resolve records intermediate s's value and decrements every live
+// equation covering it: the static equations via the codec's reverse
+// adjacency, the buffered received equations via the waiter lists.
+func (d *decoder) resolve(s int, val []byte) {
+	d.values[s] = val
+	d.resolved++
+	if s < d.c.k {
+		d.srcLeft--
+		if d.srcLeft == 0 {
+			d.finish()
+			return
+		}
+	} else if p := d.parked[s-d.c.k]; p != 0 {
+		// Anything parked on this check symbol is now redundant; its
+		// remaining hits 0 in the decrement loops below.
+		d.parked[s-d.c.k] = 0
+	}
+	for _, j := range d.c.staticOf[s] {
+		e := &d.eqs[j]
+		if e.remaining > 0 {
+			e.remaining--
+			switch e.remaining {
+			case 1:
+				d.relq = append(d.relq, j)
+			case 0:
+				d.active--
+			}
+		}
+	}
+	for nid := d.whead[s]; nid >= 0; nid = d.wnodes[nid].next {
+		id := d.wnodes[nid].id
+		e := &d.eqs[id]
+		if e.remaining > 0 {
+			e.remaining--
+			switch e.remaining {
+			case 1:
+				d.relq = append(d.relq, id)
+			case 0:
+				// Queued for release with s as its last unknown; now
+				// fully covered, hence redundant.
+				d.freeBuf(e.data)
+				e.data = nil
+				d.active--
+			}
+		}
+	}
+	d.whead[s] = -1 // nodes stay in the arena; freed wholesale at finish
+}
+
+// needed reports whether releasing equation id's check-symbol target
+// would feed any *other* live equation. A static equation wants its own
+// check only while it still has another unknown to peel (remaining > 1);
+// a waiter likewise contributes nothing if the check is its sole unknown
+// too (releasing either one retires both with no symbol gained).
+func (d *decoder) needed(id int32, target int) bool {
+	j := int32(target - d.c.k)
+	if j != id && d.eqs[j].remaining > 1 {
+		return true
+	}
+	for nid := d.whead[target]; nid >= 0; nid = d.wnodes[nid].next {
+		if wid := d.wnodes[nid].id; wid != id && d.eqs[wid].remaining > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// drainRipple releases queued equations until the ripple is empty or the
+// decode completes. Releasing performs the whole deferred XOR at once;
+// equations whose last unknown is an unwanted check symbol are parked
+// instead (see the package comment — this is the zero-loss zero-XOR
+// path).
+func (d *decoder) drainRipple() {
+	for len(d.relq) > 0 && !d.done {
+		id := d.relq[len(d.relq)-1]
+		d.relq = d.relq[:len(d.relq)-1]
+		e := &d.eqs[id]
+		if e.remaining != 1 {
+			continue // raced to 0: became redundant while queued
+		}
+		static := id < int32(d.c.s)
+		target := -1
+		if static {
+			j := int(id)
+			if d.values[d.c.k+j] == nil {
+				target = d.c.k + j
+			} else {
+				for _, nb := range d.c.checkSrc[j] {
+					if d.values[nb] == nil {
+						target = int(nb)
+						break
+					}
+				}
+			}
+		} else {
+			d.nbuf = d.c.NeighborsInto(e.index, d.nbuf)
+			for _, nb := range d.nbuf {
+				if d.values[nb] == nil {
+					target = nb
+					break
+				}
+			}
+		}
+		if target < 0 {
+			// Bookkeeping says one unknown but none found — defensive:
+			// retire rather than corrupt.
+			e.remaining = 0
+			if e.data != nil {
+				d.freeBuf(e.data)
+				e.data = nil
+			}
+			d.active--
+			continue
+		}
+		if target >= d.c.k && !d.needed(id, target) {
+			d.parked[target-d.c.k] = id + 1
+			continue
+		}
+		var val []byte
+		if e.data != nil {
+			val = e.data
+			e.data = nil
+		} else {
+			val = d.alloc()
+			clear(val)
+		}
+		if static {
+			j := int(id)
+			for _, nb := range d.c.checkSrc[j] {
+				if v := d.values[nb]; v != nil {
+					gf.XORSlice(val, v)
+					d.xors++
+				}
+			}
+			if v := d.values[d.c.k+j]; v != nil {
+				gf.XORSlice(val, v)
+				d.xors++
+			}
+		} else {
+			for _, nb := range d.nbuf {
+				if v := d.values[nb]; v != nil {
+					gf.XORSlice(val, v)
+					d.xors++
+				}
+			}
+		}
+		e.remaining = 0
+		d.active--
+		d.released++
+		d.resolve(target, val)
+	}
+}
+
+// elimMax bounds the residual system the endgame will solve, as in the
+// LT decoder: elimination is cubic, so peeling must shrink the residue
+// first. With the precode cleaning the truncated inner code's residue,
+// the endgame system here is typically a few dozen columns — the
+// fallback that dominated LT decode time becomes a footnote.
+func (d *decoder) elimMax() int {
+	if m := d.c.k / 8; m > 768 {
+		return m
+	}
+	return 768
+}
+
+// tryEliminate solves the reduced residual system when peeling has
+// stalled: unresolved sources plus the check symbols some live received
+// equation references, over the live received equations plus the static
+// equations whose own check is either resolved or referenced. A check
+// symbol appearing only in its own static equation is a free variable —
+// that row and column leave the system together, which keeps the matrix
+// near the true information deficit instead of O(s) wide.
+func (d *decoder) tryEliminate(stalled bool) {
+	if d.done || d.needMore > 0 || d.srcLeft == 0 {
+		return
+	}
+	// A live ripple usually makes the build pure waste — except at the
+	// very end, where the residual system is tiny, solving it is cheaper
+	// than the dribble of tail packets peeling would wait for.
+	if !stalled && d.srcLeft > 768 {
+		return
+	}
+	if d.srcLeft > d.elimMax() {
+		return
+	}
+	if d.active < d.srcLeft {
+		// Not enough live equations to cover the unknowns. This is an O(1)
+		// check recomputed on every Add, so it must NOT set needMore: on a
+		// lossy systematic stream the deficit shrinks by two per packet
+		// (one equation in, one unknown out) and a counted-down gate would
+		// overshoot, locking elimination out past the prefix.
+		return
+	}
+	k, s := d.c.k, d.c.s
+	colOf := make(map[int]int, 2*d.srcLeft)
+	syms := make([]int, 0, 2*d.srcLeft)
+	addCol := func(v int) {
+		if _, ok := colOf[v]; !ok {
+			colOf[v] = len(syms)
+			syms = append(syms, v)
+		}
+	}
+	for v := 0; v < k; v++ {
+		if d.values[v] == nil {
+			addCol(v)
+		}
+	}
+	recvRows := make([]int32, 0, d.active)
+	for id := int32(s); id < int32(len(d.eqs)); id++ {
+		if d.eqs[id].remaining <= 0 {
+			continue
+		}
+		d.nbuf = d.c.NeighborsInto(d.eqs[id].index, d.nbuf)
+		for _, nb := range d.nbuf {
+			if d.values[nb] == nil {
+				addCol(nb)
+			}
+		}
+		recvRows = append(recvRows, id)
+	}
+	staticRows := make([]int32, 0, s)
+	for j := 0; j < s; j++ {
+		if d.eqs[j].remaining <= 0 {
+			continue
+		}
+		own := k + j
+		if d.values[own] != nil {
+			staticRows = append(staticRows, int32(j))
+			continue
+		}
+		if _, ok := colOf[own]; ok {
+			staticRows = append(staticRows, int32(j))
+		}
+	}
+	cols := len(syms)
+	if cols > 2*d.elimMax() {
+		d.needMore = (cols - d.elimMax() + 3) / 4
+		return
+	}
+	rows := len(recvRows) + len(staticRows)
+	if rows < cols {
+		d.needMore = deficitWait(cols - rows)
+		return
+	}
+	// Received rows first (they carry the payload information), static
+	// rows fill the surplus, capped as in the Tornado endgame.
+	if max := cols + 64; rows > max {
+		rows = max
+	}
+	m := bitmat.New(rows, cols)
+	rhs := make([][]byte, rows)
+	store := make([]byte, rows*d.c.packetLen)
+	r := 0
+	for _, id := range recvRows {
+		if r == rows {
+			break
+		}
+		buf := store[r*d.c.packetLen : (r+1)*d.c.packetLen]
+		copy(buf, d.eqs[id].data)
+		d.nbuf = d.c.NeighborsInto(d.eqs[id].index, d.nbuf)
+		for _, nb := range d.nbuf {
+			if v := d.values[nb]; v != nil {
+				gf.XORSlice(buf, v)
+			} else {
+				m.Set(r, colOf[nb], true)
+			}
+		}
+		rhs[r] = buf
+		r++
+	}
+	for _, jd := range staticRows {
+		if r == rows {
+			break
+		}
+		j := int(jd)
+		buf := store[r*d.c.packetLen : (r+1)*d.c.packetLen] // implicit zero payload
+		for _, nb := range d.c.checkSrc[j] {
+			if v := d.values[nb]; v != nil {
+				gf.XORSlice(buf, v)
+			} else {
+				m.Set(r, colOf[int(nb)], true)
+			}
+		}
+		own := k + j
+		if v := d.values[own]; v != nil {
+			gf.XORSlice(buf, v)
+		} else {
+			m.Set(r, colOf[own], true)
+		}
+		rhs[r] = buf
+		r++
+	}
+	sol, rank, ok := bitmat.TrySolve(m, rhs)
+	if !ok {
+		d.needMore = deficitWait(cols - rank)
+		return
+	}
+	for ci, v := range syms {
+		if d.values[v] == nil {
+			d.values[v] = sol[ci]
+			if v < k {
+				d.srcLeft--
+			}
+		}
+	}
+	d.resolved = d.c.l
+	d.finish()
+}
+
+// deficitWait converts a rank deficit into the progress units to wait
+// before the next elimination attempt. The floor adds hysteresis: a
+// deficit of 1-2 would otherwise trigger a full (and likely still
+// deficient) rebuild on nearly every subsequent packet.
+func deficitWait(deficit int) int {
+	if deficit < 8 {
+		return 8
+	}
+	return deficit
+}
+
+// finish drops the equation state; values (some arena-backed) survive
+// for Source.
+func (d *decoder) finish() {
+	d.done = true
+	d.srcLeft = 0
+	d.eqs = nil
+	d.relq = nil
+	d.whead = nil
+	d.wnodes = nil
+	d.parked = nil
+	d.slab = nil
+	d.free = nil
+}
+
+// alloc hands out one packet buffer from the slab arena (contents
+// arbitrary — callers copy or clear).
+func (d *decoder) alloc() []byte {
+	if n := len(d.free); n > 0 {
+		b := d.free[n-1]
+		d.free = d.free[:n-1]
+		return b
+	}
+	pl := d.c.packetLen
+	if len(d.slab) < pl {
+		n := 16 * pl
+		if n < 16384 {
+			n = 16384
+		}
+		d.slab = make([]byte, n)
+	}
+	b := d.slab[:pl:pl]
+	d.slab = d.slab[pl:]
+	return b
+}
+
+func (d *decoder) freeBuf(b []byte) {
+	if b != nil {
+		d.free = append(d.free, b)
+	}
+}
+
+// addWaiter registers equation id on intermediate v: one arena append,
+// one head swap.
+func (d *decoder) addWaiter(v int, id int32) {
+	d.wnodes = append(d.wnodes, wnode{id: id, next: d.whead[v]})
+	d.whead[v] = int32(len(d.wnodes) - 1)
+}
+
+// Done implements code.Decoder.
+func (d *decoder) Done() bool { return d.done }
+
+// Received implements code.Decoder: distinct accepted packets.
+func (d *decoder) Received() int { return len(d.seen) }
+
+// Released implements code.ReleaseCounter: the number of coded-equation
+// releases — each one a deferred-XOR event exposing a symbol. A receiver
+// of the k systematic packets reports exactly 0.
+func (d *decoder) Released() int { return d.released }
+
+// XORs returns the payload XORSlice count on the peeling path (the
+// elimination endgame's internal row combinations are not included).
+// Zero loss ⇒ zero.
+func (d *decoder) XORs() int { return d.xors }
+
+// Source implements code.Decoder.
+func (d *decoder) Source() ([][]byte, error) {
+	if !d.done {
+		return nil, code.ErrNotReady
+	}
+	for v, val := range d.values[:d.c.k] {
+		if val == nil {
+			return nil, fmt.Errorf("raptor: symbol %d unresolved after completion", v)
+		}
+	}
+	return d.values[:d.c.k], nil
+}

@@ -1,0 +1,425 @@
+// Package raptor implements a Raptor-style precoded systematic fountain
+// code: the composition the fountain-codes survey presents as the fix for
+// LT's ln(k) decoding cost. A sparse Tornado-style precode (internal/
+// tornado's heavy-tail bipartite layer) extends the k source packets with
+// s check packets into L = k+s intermediate symbols; a *weakened* robust
+// soliton LT code over those intermediates generates the repair stream.
+//
+// Weakening means the inner degree distribution is truncated at a small
+// constant maxD with the tail mass folded into the final spike, so the
+// average degree is O(1) instead of O(ln k) and encode/decode run in
+// linear time. Truncation alone would strand a small fraction of
+// intermediates uncovered; the precode's check equations — known to both
+// sides by construction, never transmitted — supply exactly the extra
+// relations the peeling decoder needs to clean up that residue, which is
+// why the O(k·√k) inactivation fallback drops out of the hot path.
+//
+// The code is systematic (SNIPPETS.md snippet 2's systematic=True idiom):
+// encoding packet i < k IS source packet i, and repair packets i >= k are
+// inner-coded over the intermediates. A receiver that loses nothing
+// therefore reconstructs the file with zero XOR work — the paper's ideal
+// "packets straight off the wire" path — while lossy receivers decode
+// from any ≈1.02k distinct packets.
+package raptor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/code"
+	"repro/internal/gf"
+	"repro/internal/tornado"
+)
+
+// Default parameters. The inner distribution reuses the LT robust-soliton
+// shape (c, δ) but truncated at DefaultMaxDegree; the precode sizes its
+// check side as a small fraction of k. Tuned empirically at k ∈ {1000,
+// 10000} — see EXPERIMENTS.md.
+const (
+	DefaultC     = 0.03
+	DefaultDelta = 0.5
+	// precodeMaxDegree caps the heavy-tail left degrees of the precode
+	// graph; the mean left degree is ≈ 3, so precoding costs ≈ 3k XOR
+	// rows regardless of the check count.
+	precodeMaxDegree = 8
+)
+
+// DefaultMaxDegree returns the default inner-code degree truncation for k
+// sources: ≈ 2√k, clamped to [16, 200]. The average inner degree is
+// ≈ ln(maxD) + 2 — still effectively constant in k, the linear-time
+// property — while the design overhead ε = 4/(maxD-5) shrinks as maxD
+// grows. The √k scaling matches the finite-length sweet spot measured in
+// EXPERIMENTS.md: at small k a low truncation keeps degree variance from
+// swamping the ripple, at large k the tighter ε wins (64 at k=1000, 200
+// at k=10000). The cap bounds the per-packet work for huge blocks.
+func DefaultMaxDegree(k int) int {
+	d := int(math.Ceil(2 * math.Sqrt(float64(k))))
+	if d < 16 {
+		d = 16
+	}
+	if d > 200 {
+		d = 200
+	}
+	return d
+}
+
+// DefaultChecks returns the default precode check count for k sources
+// under an inner code truncated at maxD. The coupling is the Raptor
+// design rule: the weakened distribution's BP recovery stalls once its
+// coverage rate N/L drops below ≈1, so the precode redundancy must stay
+// in proportion to the design overhead ε = 4/(maxD-5) — S ≈ (ε/4)·k
+// covers the stranded residue while an oversized precode inflates L and
+// starves the inner ripple outright (S = k/10 costs ≈0.12 extra
+// overhead at k=2000). Check equations are never transmitted and
+// contribute rank for free; the cost of S is decoder memory and endgame
+// width, not wire overhead.
+func DefaultChecks(k, maxD int) int {
+	if maxD < 8 {
+		maxD = 8
+	}
+	s := k/(maxD-5) + 8
+	if s < 2 {
+		s = 2
+	}
+	return s
+}
+
+// Codec is the precoded rateless code over fixed-size packets. Immutable
+// after construction and safe for concurrent use; the precode graph and
+// degree CDF are built once and shared by every encoder and decoder of
+// the session.
+type Codec struct {
+	k         int
+	packetLen int
+	seed      int64
+	c         float64
+	delta     float64
+	s         int // precode checks
+	maxD      int // inner-code degree truncation
+	l         int // k + s intermediate symbols
+
+	cdf []float64 // truncated robust soliton over [1, maxD]
+
+	// checkSrc[j] lists the source symbols XORed into check intermediate
+	// k+j: the static equation 0 = value(k+j) ⊕ ⊕_{i∈checkSrc[j]} value(i).
+	checkSrc [][]int32
+	// staticOf[v] lists the static equations covering intermediate v —
+	// the reverse adjacency decoders walk when v resolves. For a check
+	// intermediate k+j this is exactly {j} (each check owns one equation).
+	staticOf [][]int32
+	// staticDeg[j] is static equation j's initial unknown count:
+	// len(checkSrc[j]) + 1 (its sources plus its own check symbol).
+	staticDeg []int32
+
+	// One-slot intermediate-symbol cache: core.Session emits the carousel
+	// one EncodeRange(i, i+1) call at a time, so the precode expansion of
+	// the session's source block must be computed once and reused, keyed
+	// by the source slice's identity.
+	encMu  sync.Mutex
+	encKey *byte
+	inter  [][]byte
+}
+
+// New constructs the codec for k source packets of packetLen bytes. seed
+// is the advance agreement between sender and receivers: precode graph,
+// degrees, and neighbor sets all derive from it. c <= 0, delta outside
+// (0,1), checks <= 0, or maxD <= 0 select the defaults; checks and maxD
+// are clamped to sane ranges so quantized wire parameters always yield a
+// working codec.
+func New(k, packetLen int, seed int64, c, delta float64, checks, maxD int) (*Codec, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("raptor: invalid k=%d", k)
+	}
+	if packetLen <= 0 {
+		return nil, fmt.Errorf("raptor: invalid packetLen=%d", packetLen)
+	}
+	if c <= 0 {
+		c = DefaultC
+	}
+	if delta <= 0 || delta >= 1 {
+		delta = DefaultDelta
+	}
+	if maxD <= 0 {
+		maxD = DefaultMaxDegree(k)
+	}
+	if maxD < 2 {
+		maxD = 2
+	}
+	if checks <= 0 {
+		checks = DefaultChecks(k, maxD)
+	}
+	if checks < 2 {
+		checks = 2
+	}
+	if checks > k+4 {
+		checks = k + 4
+	}
+	l := k + checks
+	if maxD > l {
+		maxD = l
+	}
+	rc := &Codec{
+		k: k, packetLen: packetLen, seed: seed,
+		c: c, delta: delta, s: checks, maxD: maxD, l: l,
+	}
+	rc.cdf = truncatedSolitonCDF(l, maxD, c, delta)
+	// A distinct stream for the graph so precode wiring is decorrelated
+	// from the inner-code neighbor draws sharing the session seed.
+	rc.checkSrc = tornado.PrecodeGraph(k, checks, precodeMaxDegree, seed^0x5DEECE66D1CE4E5B)
+	rc.staticOf = make([][]int32, l)
+	rc.staticDeg = make([]int32, checks)
+	for j, srcs := range rc.checkSrc {
+		rc.staticDeg[j] = int32(len(srcs)) + 1
+		for _, s := range srcs {
+			rc.staticOf[s] = append(rc.staticOf[s], int32(j))
+		}
+		rc.staticOf[k+j] = []int32{int32(j)}
+	}
+	return rc, nil
+}
+
+// truncatedSolitonCDF is the weakened inner distribution, the Raptor
+// paper's derivation from the soliton family:
+//
+//	Ω(x) ∝ μ·x + Σ_{d=2}^{D} x^d/(d(d-1)) + x^{D+1}/D,  D = maxD-1
+//
+// i.e. the ideal soliton truncated at D with its tail mass Σ_{d>D}
+// 1/(d(d-1)) = 1/D folded into a spike at D+1, plus an explicit degree-1
+// mass μ = ε/2 + (ε/2)², ε = 4/(D-4). Truncation makes the average
+// degree ≈ ln(D) + 2 — a constant in k, the linear-time property — at
+// the price of stranding a small residue the precode peels. The μ term
+// is what a plain truncated *robust* soliton lacks: it seeds the ripple
+// at reception rates below L (a robust soliton's ripple only ignites
+// near L received symbols, which would forfeit the precode's rank
+// advantage entirely). The robust-soliton τ(1) = R/L ripple-insurance
+// term from the (c, δ) tunables is kept as a floor on μ, so the wire
+// parameters shared with the LT codec remain live knobs.
+func truncatedSolitonCDF(l, maxD int, c, delta float64) []float64 {
+	d := maxD - 1
+	eps := 1.0
+	if d >= 5 {
+		eps = 4.0 / float64(d-4)
+	}
+	mu := eps/2 + eps*eps/4
+	if r := c * math.Log(float64(l)/delta) * math.Sqrt(float64(l)); r/float64(l) > mu {
+		mu = r / float64(l)
+	}
+	pdf := make([]float64, maxD+1)
+	pdf[1] = mu + 1/float64(l)
+	for i := 2; i <= d; i++ {
+		pdf[i] = 1 / (float64(i) * float64(i-1))
+	}
+	if d >= 1 {
+		pdf[maxD] += 1 / float64(d)
+	}
+	cdf := make([]float64, maxD)
+	sum := 0.0
+	for i := 1; i <= maxD; i++ {
+		sum += pdf[i]
+		cdf[i-1] = sum
+	}
+	for i := range cdf {
+		cdf[i] /= sum
+	}
+	cdf[maxD-1] = 1
+	return cdf
+}
+
+// Name implements code.Codec.
+func (c *Codec) Name() string { return "raptor" }
+
+// K implements code.Codec.
+func (c *Codec) K() int { return c.k }
+
+// N implements code.Codec: the encoding is unbounded.
+func (c *Codec) N() int { return code.UnboundedN }
+
+// PacketLen implements code.Codec.
+func (c *Codec) PacketLen() int { return c.packetLen }
+
+// Params returns the inner degree-distribution tunables (c, δ) in effect.
+func (c *Codec) Params() (cc, delta float64) { return c.c, c.delta }
+
+// Checks returns the precode check count s.
+func (c *Codec) Checks() int { return c.s }
+
+// MaxDegree returns the inner-code degree truncation point.
+func (c *Codec) MaxDegree() int { return c.maxD }
+
+// Intermediates returns L = k + s, the inner code's symbol space.
+func (c *Codec) Intermediates() int { return c.l }
+
+// Seed returns the session seed the packet streams derive from.
+func (c *Codec) Seed() int64 { return c.seed }
+
+// RatelessCode implements code.Rateless.
+func (c *Codec) RatelessCode() {}
+
+// ErrUnbounded is returned by Encode: a rateless code has no finite "full
+// encoding" to materialize.
+var ErrUnbounded = errors.New("raptor: rateless codec has no finite encoding; use EncodeRange")
+
+// Encode implements code.Codec by failing: callers must use EncodeRange.
+func (c *Codec) Encode(src [][]byte) ([][]byte, error) { return nil, ErrUnbounded }
+
+// prng is the same splitmix64 construction the LT codec uses; repair
+// packet index i's draws are a pure function of (seed, i).
+type prng struct{ state uint64 }
+
+func (p *prng) next() uint64 {
+	p.state += 0x9E3779B97F4A7C15
+	z := p.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+func (p *prng) uniform() float64 { return float64(p.next()>>11) / (1 << 53) }
+
+func (c *Codec) stream(index uint32) prng {
+	p := prng{state: uint64(c.seed) ^ (uint64(index)+1)*0xBF58476D1CE4E5B9}
+	p.state = p.next()
+	return p
+}
+
+// Degree returns encoding packet index's inner degree — deterministic,
+// in [1, maxD]; systematic indices report 1.
+func (c *Codec) Degree(index uint32) int {
+	if int64(index) < int64(c.k) {
+		return 1
+	}
+	p := c.stream(index)
+	return c.degree(&p)
+}
+
+func (c *Codec) degree(p *prng) int {
+	u := p.uniform()
+	return sort.SearchFloat64s(c.cdf, u) + 1
+}
+
+// NeighborsInto writes encoding packet index's neighbor set over the
+// intermediate symbol space [0, L) into buf (reused if capacity allows)
+// and returns it. Systematic indices (index < k) are degree-1: the packet
+// is intermediate `index` itself. Repair indices draw a truncated-soliton
+// degree and rejection-sample that many distinct intermediates, exactly
+// the LT idiom so the draw sequence is auditable against lt.Codec.
+func (c *Codec) NeighborsInto(index uint32, buf []int) []int {
+	buf = buf[:0]
+	if int64(index) < int64(c.k) {
+		return append(buf, int(index))
+	}
+	p := c.stream(index)
+	d := c.degree(&p)
+	if d >= c.l {
+		for i := 0; i < c.l; i++ {
+			buf = append(buf, i)
+		}
+		return buf
+	}
+	// Rejection sampling, the LT idiom: linear dup scan for the common
+	// degrees (including the truncation spike, keeping the intake path
+	// allocation-free), a set for rare draws beyond it.
+	var dup map[int]struct{}
+	if d > 256 {
+		dup = make(map[int]struct{}, d)
+	}
+	for len(buf) < d {
+		cand := int(p.next() % uint64(c.l))
+		if dup != nil {
+			if _, seen := dup[cand]; seen {
+				continue
+			}
+			dup[cand] = struct{}{}
+		} else {
+			seen := false
+			for _, b := range buf {
+				if b == cand {
+					seen = true
+					break
+				}
+			}
+			if seen {
+				continue
+			}
+		}
+		buf = append(buf, cand)
+	}
+	return buf
+}
+
+// intermediates returns the precode expansion of src: L symbols whose
+// first k alias src and whose last s are the check XORs. Cached per
+// source-slice identity (the resident session block) under encMu.
+func (c *Codec) intermediates(src [][]byte) [][]byte {
+	key := &src[0][0]
+	c.encMu.Lock()
+	defer c.encMu.Unlock()
+	if c.encKey == key {
+		return c.inter
+	}
+	inter := make([][]byte, c.l)
+	copy(inter, src)
+	store := make([]byte, c.s*c.packetLen)
+	for j, srcs := range c.checkSrc {
+		p := store[j*c.packetLen : (j+1)*c.packetLen]
+		for _, s := range srcs {
+			gf.XORSlice(p, src[s])
+		}
+		inter[c.k+j] = p
+	}
+	c.encKey = key
+	c.inter = inter
+	return inter
+}
+
+// EncodeRange implements code.RangeEncoder. Systematic entries alias src
+// (zero copies, zero XOR — the lossless receiver's path costs nothing at
+// the sender too); repair entries are freshly allocated inner-code XORs
+// over the cached intermediates.
+func (c *Codec) EncodeRange(src [][]byte, lo, hi int) ([][]byte, error) {
+	if err := code.CheckSrc(src, c.k, c.packetLen); err != nil {
+		return nil, err
+	}
+	if lo < 0 || hi < lo || hi > code.UnboundedN {
+		return nil, fmt.Errorf("raptor: encode range [%d,%d) out of [0,%d)", lo, hi, code.UnboundedN)
+	}
+	out := make([][]byte, hi-lo)
+	repairs := 0
+	for i := lo; i < hi; i++ {
+		if i >= c.k {
+			repairs++
+		}
+	}
+	var store []byte
+	var inter [][]byte
+	if repairs > 0 {
+		store = make([]byte, repairs*c.packetLen)
+		inter = c.intermediates(src)
+	}
+	var nbuf []int
+	r := 0
+	for i := lo; i < hi; i++ {
+		if i < c.k {
+			out[i-lo] = src[i]
+			continue
+		}
+		p := store[r*c.packetLen : (r+1)*c.packetLen]
+		r++
+		nbuf = c.NeighborsInto(uint32(i), nbuf)
+		for _, nb := range nbuf {
+			gf.XORSlice(p, inter[nb])
+		}
+		out[i-lo] = p
+	}
+	return out, nil
+}
+
+// Interface conformance.
+var (
+	_ code.Codec        = (*Codec)(nil)
+	_ code.RangeEncoder = (*Codec)(nil)
+	_ code.Rateless     = (*Codec)(nil)
+)

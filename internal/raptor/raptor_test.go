@@ -1,0 +1,308 @@
+package raptor
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"repro/internal/code"
+)
+
+func testSrc(t testing.TB, k, packetLen int, seed int64) [][]byte {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	src := make([][]byte, k)
+	for i := range src {
+		src[i] = make([]byte, packetLen)
+		rng.Read(src[i])
+	}
+	return src
+}
+
+func mustNew(t testing.TB, k, packetLen int, seed int64) *Codec {
+	t.Helper()
+	c, err := New(k, packetLen, seed, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+func checkSource(t *testing.T, dec code.Decoder, src [][]byte) {
+	t.Helper()
+	got, err := dec.Source()
+	if err != nil {
+		t.Fatalf("Source: %v", err)
+	}
+	for i := range src {
+		if !bytes.Equal(got[i], src[i]) {
+			t.Fatalf("source packet %d mismatch", i)
+		}
+	}
+}
+
+// The systematic zero-loss path: the k source packets straight off the
+// wire reconstruct bit-identically with zero XOR work and zero releases.
+func TestSystematicZeroLossZeroXOR(t *testing.T) {
+	const k, pl = 1000, 64
+	c := mustNew(t, k, pl, 42)
+	src := testSrc(t, k, pl, 1)
+	enc, err := c.EncodeRange(src, 0, k)
+	if err != nil {
+		t.Fatalf("EncodeRange: %v", err)
+	}
+	for i := range enc {
+		if &enc[i][0] != &src[i][0] {
+			t.Fatalf("systematic packet %d does not alias src", i)
+		}
+	}
+	dec := c.NewDecoder().(*decoder)
+	for i := 0; i < k; i++ {
+		done, err := dec.Add(i, enc[i])
+		if err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+		if done != (i == k-1) {
+			t.Fatalf("done=%v at packet %d", done, i)
+		}
+	}
+	if dec.Released() != 0 {
+		t.Fatalf("Released() = %d, want 0", dec.Released())
+	}
+	if dec.XORs() != 0 {
+		t.Fatalf("XORs() = %d, want 0", dec.XORs())
+	}
+	if dec.Received() != k {
+		t.Fatalf("Received() = %d, want %d", dec.Received(), k)
+	}
+	checkSource(t, dec, src)
+}
+
+// Repair-only reception (an uncoordinated mirror's receiver that joined
+// late sees no systematic packets) must still decode near k.
+func TestRepairOnlyRoundTrip(t *testing.T) {
+	const k, pl = 500, 48
+	c := mustNew(t, k, pl, 7)
+	src := testSrc(t, k, pl, 2)
+	dec := c.NewDecoder()
+	budget := k + k/4
+	got := 0
+	for i := k; i < k+budget; i++ {
+		pkts, err := c.EncodeRange(src, i, i+1)
+		if err != nil {
+			t.Fatalf("EncodeRange(%d): %v", i, err)
+		}
+		got++
+		done, err := dec.Add(i, pkts[0])
+		if err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+		if done {
+			break
+		}
+	}
+	if !dec.Done() {
+		t.Fatalf("not done after %d repair packets (k=%d)", got, k)
+	}
+	checkSource(t, dec, src)
+	t.Logf("repair-only: done after %d packets, overhead %.4f", got, float64(got)/float64(k))
+}
+
+// Mixed reception: a lossy receiver sees most systematic packets plus the
+// repair stream.
+func TestMixedLossRoundTrip(t *testing.T) {
+	const k, pl = 1000, 32
+	c := mustNew(t, k, pl, 11)
+	src := testSrc(t, k, pl, 3)
+	rng := rand.New(rand.NewSource(99))
+	dec := c.NewDecoder()
+	received := 0
+	for i := 0; i < k && !dec.Done(); i++ {
+		if rng.Float64() < 0.2 {
+			continue // lost
+		}
+		pkts, err := c.EncodeRange(src, i, i+1)
+		if err != nil {
+			t.Fatalf("EncodeRange(%d): %v", i, err)
+		}
+		received++
+		if _, err := dec.Add(i, pkts[0]); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+	}
+	for i := k; i < 2*k && !dec.Done(); i++ {
+		if rng.Float64() < 0.2 {
+			continue
+		}
+		pkts, err := c.EncodeRange(src, i, i+1)
+		if err != nil {
+			t.Fatalf("EncodeRange(%d): %v", i, err)
+		}
+		received++
+		if _, err := dec.Add(i, pkts[0]); err != nil {
+			t.Fatalf("Add(%d): %v", i, err)
+		}
+	}
+	if !dec.Done() {
+		t.Fatalf("not done after %d packets (k=%d)", received, k)
+	}
+	checkSource(t, dec, src)
+	t.Logf("mixed 20%% loss: done after %d received, overhead %.4f", received, float64(received)/float64(k))
+}
+
+// Reception overhead averaged over repair-only trials must stay within
+// the Raptor design target.
+func TestOverheadBound(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overhead measurement")
+	}
+	const pl, trials = 16, 5
+	for _, tc := range []struct {
+		k     int
+		bound float64
+	}{
+		{1000, 1.04}, // tuned scale; the bench gate holds the seeded runs to 1.03
+		{2000, 1.06}, // off-grid scale: defaults interpolate, bound is looser
+	} {
+		c := mustNew(t, tc.k, pl, 1234)
+		src := testSrc(t, tc.k, pl, 4)
+		total := 0
+		for trial := 0; trial < trials; trial++ {
+			dec := c.NewDecoder()
+			start := tc.k + trial*50_000 // disjoint repair windows per trial
+			n := 0
+			for i := start; !dec.Done(); i++ {
+				pkts, err := c.EncodeRange(src, i, i+1)
+				if err != nil {
+					t.Fatalf("EncodeRange(%d): %v", i, err)
+				}
+				n++
+				if _, err := dec.Add(i, pkts[0]); err != nil {
+					t.Fatalf("Add(%d): %v", i, err)
+				}
+				if n > tc.k+tc.k/2 {
+					t.Fatalf("k=%d trial %d: no decode after %d packets", tc.k, trial, n)
+				}
+			}
+			checkSource(t, dec, src)
+			total += n
+		}
+		overhead := float64(total) / float64(trials*tc.k)
+		t.Logf("k=%d avg overhead over %d trials: %.4f", tc.k, trials, overhead)
+		if overhead > tc.bound {
+			t.Fatalf("k=%d overhead %.4f exceeds %.4f", tc.k, overhead, tc.bound)
+		}
+	}
+}
+
+// Neighbor derivation is deterministic, in-range, and duplicate-free —
+// the invariants FuzzRaptorNeighbors hammers.
+func TestNeighborsDeterministicAndValid(t *testing.T) {
+	c := mustNew(t, 300, 8, 77)
+	c2 := mustNew(t, 300, 8, 77)
+	var a, b []int
+	for idx := uint32(0); idx < 2000; idx++ {
+		a = c.NeighborsInto(idx, a)
+		b = c2.NeighborsInto(idx, b)
+		if len(a) != len(b) {
+			t.Fatalf("index %d: len %d vs %d", idx, len(a), len(b))
+		}
+		seen := map[int]bool{}
+		for i, nb := range a {
+			if nb != b[i] {
+				t.Fatalf("index %d: nondeterministic neighbor %d", idx, i)
+			}
+			if nb < 0 || nb >= c.Intermediates() {
+				t.Fatalf("index %d: neighbor %d out of range [0,%d)", idx, nb, c.Intermediates())
+			}
+			if seen[nb] {
+				t.Fatalf("index %d: duplicate neighbor %d", idx, nb)
+			}
+			seen[nb] = true
+		}
+		if idx < 300 && (len(a) != 1 || a[0] != int(idx)) {
+			t.Fatalf("systematic index %d: neighbors %v", idx, a)
+		}
+		if d := c.Degree(idx); d != len(a) {
+			t.Fatalf("index %d: Degree %d != len(neighbors) %d", idx, d, len(a))
+		}
+	}
+}
+
+// The precode graph invariants: every check lists in-range, duplicate-free
+// sources, and the static reverse adjacency is consistent.
+func TestPrecodeConsistency(t *testing.T) {
+	for _, k := range []int{1, 2, 10, 1000} {
+		c := mustNew(t, k, 8, int64(k))
+		if c.Checks() < 2 {
+			t.Fatalf("k=%d: checks %d < 2", k, c.Checks())
+		}
+		for j, srcs := range c.checkSrc {
+			seen := map[int32]bool{}
+			for _, s := range srcs {
+				if s < 0 || int(s) >= k {
+					t.Fatalf("k=%d check %d: source %d out of range", k, j, s)
+				}
+				if seen[s] {
+					t.Fatalf("k=%d check %d: duplicate source %d", k, j, s)
+				}
+				seen[s] = true
+			}
+			if int(c.staticDeg[j]) != len(srcs)+1 {
+				t.Fatalf("k=%d check %d: staticDeg %d != %d", k, j, c.staticDeg[j], len(srcs)+1)
+			}
+		}
+	}
+}
+
+// Duplicates and post-completion packets are ignored without error.
+func TestDuplicatesIgnored(t *testing.T) {
+	const k, pl = 100, 16
+	c := mustNew(t, k, pl, 5)
+	src := testSrc(t, k, pl, 6)
+	dec := c.NewDecoder()
+	enc, err := c.EncodeRange(src, 0, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if _, err := dec.Add(i, enc[i]); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := dec.Add(i, enc[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if dec.Received() != k {
+		t.Fatalf("Received() = %d, want %d", dec.Received(), k)
+	}
+	done, err := dec.Add(k+5, make([]byte, pl))
+	if err != nil || !done {
+		t.Fatalf("post-completion Add: done=%v err=%v", done, err)
+	}
+	checkSource(t, dec, src)
+}
+
+// Invalid arguments are rejected.
+func TestBadInputs(t *testing.T) {
+	if _, err := New(0, 16, 1, 0, 0, 0, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := New(10, 0, 1, 0, 0, 0, 0); err == nil {
+		t.Fatal("packetLen=0 accepted")
+	}
+	c := mustNew(t, 10, 16, 1)
+	if _, err := c.Encode(nil); err == nil {
+		t.Fatal("Encode should fail on a rateless codec")
+	}
+	dec := c.NewDecoder()
+	if _, err := dec.Add(-1, make([]byte, 16)); err == nil {
+		t.Fatal("negative index accepted")
+	}
+	if _, err := dec.Add(0, make([]byte, 3)); err == nil {
+		t.Fatal("short packet accepted")
+	}
+	if _, err := dec.Source(); err == nil {
+		t.Fatal("Source before done")
+	}
+}

@@ -1,0 +1,20 @@
+package tornado
+
+import "math/rand"
+
+// PrecodeGraph builds the single sparse bipartite layer a Raptor-style
+// precode uses: sources left nodes with heavy-tail degrees (truncated at
+// maxDegree) wired to checks right nodes, the same capacity-approaching
+// construction the Tornado cascade stacks (newBigraph), exposed as plain
+// check→source adjacency. The graph is deterministic in
+// (sources, checks, maxDegree, seed), so sender and receivers rebuild
+// identical matrices from the session descriptor.
+//
+// Returned slice: adj[c] lists the source indices XORed into check c.
+// Each source appears in at least two checks (heavy-tail minimum degree),
+// every entry is in [0, sources), and no check lists a source twice.
+func PrecodeGraph(sources, checks, maxDegree int, seed int64) [][]int32 {
+	counts := heavyTailCounts(sources, maxDegree)
+	g := newBigraph(sources, checks, counts, rand.New(rand.NewSource(seed)))
+	return g.neighbors
+}
